@@ -1,0 +1,98 @@
+//! Bench: bottom-clause construction time under the four sampling strategies
+//! (paper §4 — the motivation for sampling is that full BC construction is
+//! linear in the database and too slow on large data).
+
+use autobias::bottom::{build_bottom_clause, BcConfig, SamplingStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::uw::{generate, UwConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_strategies(c: &mut Criterion) {
+    let ds = generate(&UwConfig::default(), 42);
+    let bias = ds.manual_bias().expect("bias");
+    let example = ds.pos[0].clone();
+
+    let mut group = c.benchmark_group("bc_construction/strategy");
+    let strategies = [
+        ("full", SamplingStrategy::Full),
+        ("naive", SamplingStrategy::Naive { per_selection: 20 }),
+        (
+            "random",
+            SamplingStrategy::Random {
+                per_selection: 20,
+                oversample: 10,
+            },
+        ),
+        (
+            "stratified",
+            SamplingStrategy::Stratified { per_stratum: 2 },
+        ),
+    ];
+    for (name, strategy) in strategies {
+        let cfg = BcConfig {
+            depth: 2,
+            strategy,
+            max_body_literals: 100_000,
+            max_tuples: 10_000,
+        };
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| {
+                black_box(build_bottom_clause(
+                    &ds.db,
+                    &bias,
+                    black_box(&example),
+                    &cfg,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // How full vs naive construction scales with database size.
+    let mut group = c.benchmark_group("bc_construction/db_size");
+    group.sample_size(20);
+    for scale in [1usize, 4, 16] {
+        let cfg_ds = UwConfig {
+            students: 150 * scale,
+            professors: 45 * scale,
+            courses: 60 * scale,
+            advised_pairs: 102,
+            noise_publications: 60 * scale,
+            ..UwConfig::default()
+        };
+        let ds = generate(&cfg_ds, 42);
+        let bias = ds.manual_bias().expect("bias");
+        let example = ds.pos[0].clone();
+        for (name, strategy) in [
+            ("full", SamplingStrategy::Full),
+            ("naive", SamplingStrategy::Naive { per_selection: 20 }),
+        ] {
+            let cfg = BcConfig {
+                depth: 2,
+                strategy,
+                max_body_literals: 100_000,
+                max_tuples: 100_000,
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, ds.db.total_tuples()),
+                &ds,
+                |b, ds| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    b.iter(|| {
+                        black_box(build_bottom_clause(&ds.db, &bias, &example, &cfg, &mut rng))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Bench: coverage testing via reusable ground bottom clauses (paper §5)
+//! vs rebuilding the ground BC for every test, and sampled vs full ground
+//! BCs — the two design decisions §5 argues for.
+
+use autobias::bottom::{build_bottom_clause, BcConfig, SamplingStrategy};
+use autobias::coverage::CoverageEngine;
+use autobias::example::TrainingSet;
+use autobias::subsume::{theta_subsumes, SubsumeConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use datasets::uw::{generate, UwConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_reuse_vs_rebuild(c: &mut Criterion) {
+    let ds = generate(&UwConfig::default(), 42);
+    let bias = ds.manual_bias().expect("bias");
+    let cfg = BcConfig {
+        depth: 2,
+        strategy: SamplingStrategy::Naive { per_selection: 20 },
+        max_body_literals: 100_000,
+        max_tuples: 3_000,
+    };
+    let train = TrainingSet::new(ds.pos.clone(), ds.neg.clone());
+    let engine = CoverageEngine::build(&ds.db, &bias, &train, &cfg, SubsumeConfig::default(), 1);
+    // A realistic candidate clause: the co-authorship rule.
+    let clause = {
+        let mut rng = StdRng::seed_from_u64(1);
+        let bc = build_bottom_clause(&ds.db, &bias, &ds.pos[0], &cfg, &mut rng);
+        bc.clause
+    };
+
+    let mut group = c.benchmark_group("coverage/reuse_vs_rebuild");
+    group.sample_size(20);
+    group.bench_function("reuse_ground_bcs", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..20 {
+                if engine.covers_pos(black_box(&clause), i) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("rebuild_per_test", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..20 {
+                let mut rng = StdRng::seed_from_u64(i as u64);
+                let ground = build_bottom_clause(&ds.db, &bias, &ds.pos[i], &cfg, &mut rng).ground;
+                if theta_subsumes(&clause, &ground, &SubsumeConfig::default(), &mut rng) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    // The paper's §5 strawman: translate the clause to a Select-Project-Join
+    // query and run it against the full database for every test.
+    group.bench_function("spj_query_per_test", |b| {
+        let qcfg = autobias::query::QueryConfig::default();
+        b.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..20 {
+                if autobias::query::clause_covers(&ds.db, black_box(&clause), &ds.pos[i], &qcfg) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+fn bench_sampled_vs_full_ground(c: &mut Criterion) {
+    let ds = generate(&UwConfig::default(), 42);
+    let bias = ds.manual_bias().expect("bias");
+    let train = TrainingSet::new(ds.pos.clone(), ds.neg.clone());
+    let sampled_cfg = BcConfig {
+        depth: 2,
+        strategy: SamplingStrategy::Naive { per_selection: 20 },
+        max_body_literals: 100_000,
+        max_tuples: 3_000,
+    };
+    let full_cfg = BcConfig {
+        depth: 2,
+        strategy: SamplingStrategy::Full,
+        max_body_literals: 100_000,
+        max_tuples: 100_000,
+    };
+    let clause = {
+        let mut rng = StdRng::seed_from_u64(1);
+        build_bottom_clause(&ds.db, &bias, &ds.pos[0], &sampled_cfg, &mut rng).clause
+    };
+
+    let mut group = c.benchmark_group("coverage/ground_bc_kind");
+    group.sample_size(10);
+    for (name, cfg) in [("sampled", sampled_cfg), ("full", full_cfg)] {
+        let engine =
+            CoverageEngine::build(&ds.db, &bias, &train, &cfg, SubsumeConfig::default(), 1);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let idxs: Vec<usize> = (0..engine.pos.len()).collect();
+                black_box(engine.covered_pos_subset(black_box(&clause), &idxs).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reuse_vs_rebuild,
+    bench_sampled_vs_full_ground
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Bench: the armg operator (paper §2.3.2) — blocking-atom search strategy
+//! ablation (binary search vs linear scan) and armg cost vs bottom-clause
+//! size.
+
+use autobias::bias::parse::parse_bias;
+use autobias::bottom::{BcConfig, SamplingStrategy};
+use autobias::coverage::CoverageEngine;
+use autobias::example::TrainingSet;
+use autobias::generalize::{armg, blocking_atom, blocking_atom_linear};
+use autobias::subsume::SubsumeConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::uw::{generate, UwConfig};
+use std::hint::black_box;
+
+fn engine_with(per_selection: usize) -> (CoverageEngine, usize) {
+    let ds = generate(
+        &UwConfig {
+            evidence_prob: 1.0,
+            noise_coauthor_pairs: 0,
+            ..UwConfig::default()
+        },
+        42,
+    );
+    let bias = parse_bias(&ds.db, ds.target, &ds.manual_bias_text).expect("bias");
+    let train = TrainingSet::new(ds.pos.clone(), ds.neg.clone());
+    let cfg = BcConfig {
+        depth: 2,
+        strategy: SamplingStrategy::Naive { per_selection },
+        max_tuples: 3_000,
+        max_body_literals: 100_000,
+    };
+    let engine = CoverageEngine::build(&ds.db, &bias, &train, &cfg, SubsumeConfig::default(), 1);
+    // Find a positive the seed BC does not cover (armg has work to do).
+    let seed_clause = engine.pos[0].clause.clone();
+    let target = (1..engine.pos.len())
+        .find(|&i| !engine.covers_pos(&seed_clause, i))
+        .unwrap_or(1);
+    (engine, target)
+}
+
+fn bench_blocking_atom(c: &mut Criterion) {
+    let (engine, target) = engine_with(20);
+    let clause = engine.pos[0].clause.clone();
+    let mut group = c.benchmark_group("generalization/blocking_atom");
+    group.sample_size(20);
+    group.bench_function("binary_search", |b| {
+        b.iter(|| black_box(blocking_atom(black_box(&clause), &engine, target)))
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| black_box(blocking_atom_linear(black_box(&clause), &engine, target)))
+    });
+    group.finish();
+}
+
+fn bench_armg_vs_bc_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generalization/armg_bc_size");
+    group.sample_size(10);
+    for per_selection in [5usize, 20, 60] {
+        let (engine, target) = engine_with(per_selection);
+        let clause = engine.pos[0].clause.clone();
+        group.bench_with_input(
+            BenchmarkId::new(format!("bc_{}_lits", clause.len()), per_selection),
+            &clause,
+            |b, clause| b.iter(|| black_box(armg(black_box(clause), &engine, target))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocking_atom, bench_armg_vs_bc_size);
+criterion_main!(benches);

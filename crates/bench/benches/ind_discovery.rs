@@ -1,0 +1,66 @@
+//! Bench: Binder-style IND discovery vs data size, bucket count, and error
+//! threshold (paper §3.1 / §6.1's preprocessing step).
+
+use constraints::{discover_inds, IndConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::uw::{generate, UwConfig};
+use std::hint::black_box;
+
+fn bench_data_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ind_discovery/db_size");
+    group.sample_size(20);
+    for scale in [1usize, 4, 16] {
+        let ds = generate(
+            &UwConfig {
+                students: 150 * scale,
+                professors: 45 * scale,
+                courses: 60 * scale,
+                noise_publications: 60 * scale,
+                ..UwConfig::default()
+            },
+            42,
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(ds.db.total_tuples()),
+            &ds,
+            |b, ds| b.iter(|| black_box(discover_inds(&ds.db, &IndConfig::default()))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_buckets(c: &mut Criterion) {
+    let ds = generate(&UwConfig::default(), 42);
+    let mut group = c.benchmark_group("ind_discovery/buckets");
+    for buckets in [1usize, 16, 256] {
+        let cfg = IndConfig {
+            buckets,
+            ..IndConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(buckets), &cfg, |b, cfg| {
+            b.iter(|| black_box(discover_inds(&ds.db, cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_vs_approx(c: &mut Criterion) {
+    let ds = generate(&UwConfig::default(), 42);
+    let mut group = c.benchmark_group("ind_discovery/error_threshold");
+    for (name, max_error) in [("exact_only", 0.0), ("alpha_0.5", 0.5), ("alpha_1.0", 1.0)] {
+        let cfg = IndConfig {
+            max_error,
+            ..IndConfig::default()
+        };
+        group.bench_function(name, |b| b.iter(|| black_box(discover_inds(&ds.db, &cfg))));
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_data_size,
+    bench_buckets,
+    bench_exact_vs_approx
+);
+criterion_main!(benches);

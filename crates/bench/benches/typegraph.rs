@@ -1,0 +1,81 @@
+//! Bench: Algorithm 3 (type-graph construction + propagation) vs schema
+//! width and IND density.
+
+use constraints::{build_type_graph, Ind, IndConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datasets::uw::{generate, UwConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use relstore::{AttrRef, Database, RelId};
+use std::hint::black_box;
+
+/// Synthetic wide schema with `rels` binary relations and random INDs.
+fn synthetic(rels: usize, inds_per_attr: usize, seed: u64) -> (Database, Vec<Ind>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    for i in 0..rels {
+        db.add_relation(&format!("r{i}"), &["a", "b"]);
+    }
+    let attrs: Vec<AttrRef> = (0..rels)
+        .flat_map(|i| {
+            [
+                AttrRef::new(RelId(i as u32), 0),
+                AttrRef::new(RelId(i as u32), 1),
+            ]
+        })
+        .collect();
+    let mut inds = Vec::new();
+    for &from in &attrs {
+        for _ in 0..inds_per_attr {
+            let to = attrs[rng.random_range(0..attrs.len())];
+            if to != from {
+                let error = if rng.random_range(0.0..1.0) < 0.5 {
+                    0.0
+                } else {
+                    0.3
+                };
+                inds.push(Ind { from, to, error });
+            }
+        }
+    }
+    (db, inds)
+}
+
+fn bench_schema_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("typegraph/schema_width");
+    for rels in [10usize, 50, 200] {
+        let (db, inds) = synthetic(rels, 3, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(rels), &db, |b, db| {
+            b.iter(|| black_box(build_type_graph(db, &inds)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ind_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("typegraph/ind_density");
+    for density in [1usize, 4, 16] {
+        let (db, inds) = synthetic(50, density, 13);
+        group.bench_with_input(BenchmarkId::from_parameter(inds.len()), &db, |b, db| {
+            b.iter(|| black_box(build_type_graph(db, &inds)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_uw_end_to_end(c: &mut Criterion) {
+    let ds = generate(&UwConfig::default(), 42);
+    let inds = constraints::discover_inds(&ds.db, &IndConfig::default());
+    c.bench_function("typegraph/uw", |b| {
+        b.iter(|| black_box(build_type_graph(&ds.db, &inds)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_schema_width,
+    bench_ind_density,
+    bench_uw_end_to_end
+);
+criterion_main!(benches);

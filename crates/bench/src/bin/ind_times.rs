@@ -1,0 +1,42 @@
+//! Regenerates the §6.1 preprocessing claim: "The preprocessing step to
+//! extract INDs takes 1.2 seconds, 1.4 minutes, 7.8 minutes, 1 minute, and
+//! 2.8 minutes over the UW, HIV, IMDb, FLT, and SYS respectively."
+//!
+//! Our datasets are scaled down, so absolute numbers are smaller; the shape
+//! to check is the *ordering* (UW ≪ FLT < HIV/SYS < IMDb-ish, driven by
+//! tuple count × attribute count).
+//!
+//! ```text
+//! cargo run -p autobias-bench --bin ind_times --release [--dataset NAME]
+//! ```
+
+use autobias_bench::harness::{fmt_duration, selected_datasets, Args};
+use constraints::{discover_inds, IndConfig};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let datasets = selected_datasets(&args, args.get("--seed", 7));
+
+    println!("IND-extraction preprocessing times (paper §6.1)\n");
+    println!(
+        "{:<6} {:>10} {:>8} {:>12} {:>12} {:>12}",
+        "Data", "tuples", "attrs", "exact INDs", "approx INDs", "time"
+    );
+    for ds in &datasets {
+        let t0 = Instant::now();
+        let inds = discover_inds(&ds.db, &IndConfig::default());
+        let elapsed = t0.elapsed();
+        let exact = inds.iter().filter(|i| i.is_exact()).count();
+        let approx = inds.len() - exact;
+        println!(
+            "{:<6} {:>10} {:>8} {:>12} {:>12} {:>12}",
+            ds.name,
+            ds.db.total_tuples(),
+            ds.db.catalog().all_attrs().len(),
+            exact,
+            approx,
+            fmt_duration(elapsed, false)
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Internal profiling helper: one fold of AutoBias on UW with stage timings.
+use autobias::bias::auto::{induce_bias, AutoBiasConfig, ConstantThreshold};
+use autobias::bottom::{build_bottom_clause, BcConfig, SamplingStrategy};
+use autobias::eval::kfold_splits;
+use autobias::learn::{Learner, LearnerConfig};
+use datasets::uw::{generate, UwConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let ds = generate(&UwConfig::default(), 7);
+    // Mirror the harness: absolute constant-threshold (DESIGN.md §7a).
+    let cfg = AutoBiasConfig {
+        constant_threshold: ConstantThreshold::Absolute(50),
+        ..AutoBiasConfig::default()
+    };
+    let (bias, _, _) = induce_bias(&ds.db, ds.target, &cfg).unwrap();
+    let bc = BcConfig {
+        depth: 2,
+        strategy: SamplingStrategy::Naive { per_selection: 20 },
+        max_body_literals: 100_000,
+        max_tuples: 3000,
+    };
+    let mut rng = StdRng::seed_from_u64(1);
+    let b = build_bottom_clause(&ds.db, &bias, &ds.pos[0], &bc, &mut rng);
+    println!(
+        "AutoBias BC: {} body literals, {} ground literals",
+        b.clause.len(),
+        b.ground.len()
+    );
+    let mb = ds.manual_bias().unwrap();
+    let b2 = build_bottom_clause(&ds.db, &mb, &ds.pos[0], &bc, &mut rng);
+    println!(
+        "Manual   BC: {} body literals, {} ground literals",
+        b2.clause.len(),
+        b2.ground.len()
+    );
+
+    let splits = kfold_splits(&ds.pos, &ds.neg, 5, 7);
+    let (train, _) = &splits[0];
+    let cfg = LearnerConfig {
+        bc,
+        seed: 7,
+        ..LearnerConfig::default()
+    };
+    let t0 = Instant::now();
+    let (def, stats) = Learner::new(cfg).learn(&ds.db, &bias, train);
+    println!(
+        "learn total {:?}: bc_time {:?}, search_time {:?}, clauses {}, rejected {}, ground_lits {}",
+        t0.elapsed(),
+        stats.bc_time,
+        stats.search_time,
+        def.len(),
+        stats.rejected_clauses,
+        stats.ground_literals
+    );
+    println!("{}", def.render(&ds.db));
+}

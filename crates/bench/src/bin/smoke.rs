@@ -1,0 +1,31 @@
+//! Quick end-to-end smoke run: one dataset, a couple of methods.
+use autobias_bench::harness::{
+    fmt_duration, run_table5_cell, selected_datasets, Args, HarnessConfig, Method,
+};
+
+fn main() {
+    let args = Args::parse();
+    let h = HarnessConfig {
+        folds: args.get("--folds", 3),
+        ..HarnessConfig::default()
+    };
+    for ds in selected_datasets(&args, h.seed) {
+        println!("{}", ds.summary());
+        for m in [Method::Manual, Method::AutoBias] {
+            let t0 = std::time::Instant::now();
+            match run_table5_cell(&ds, m, &h) {
+                Ok(c) => println!(
+                    "  {:<10} P={:.2} R={:.2} FM={:.2} time={} bias={} wall={:?}",
+                    m.label(),
+                    c.precision,
+                    c.recall,
+                    c.f_measure,
+                    fmt_duration(c.time, c.timed_out),
+                    c.bias_size,
+                    t0.elapsed()
+                ),
+                Err(e) => println!("  {:<10} ERROR: {e}", m.label()),
+            }
+        }
+    }
+}

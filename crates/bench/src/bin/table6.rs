@@ -1,0 +1,97 @@
+//! Regenerates **Table 6** of the paper: F-measure and learning time of the
+//! three sampling techniques (naïve, random over semi-joins, stratified) over
+//! the five datasets, with the AutoBias-induced bias.
+//!
+//! ```text
+//! cargo run -p autobias-bench --bin table6 --release
+//!   [--dataset NAME] [--folds K] [--budget SECS] [--seed N] [--repeats R]
+//! ```
+//!
+//! The paper runs random and stratified 5 times and averages; `--repeats`
+//! controls that (default 3 to keep the default run quick).
+
+use autobias::bottom::SamplingStrategy;
+use autobias_bench::harness::{
+    fmt_duration, run_table6_cell, selected_datasets, Args, HarnessConfig,
+};
+use std::time::Duration;
+
+fn main() {
+    let args = Args::parse();
+    let h = HarnessConfig {
+        folds: args.get("--folds", 5),
+        budget: Duration::from_secs(args.get("--budget", 120)),
+        seed: args.get("--seed", 7),
+        ..HarnessConfig::default()
+    };
+    let repeats = args.get("--repeats", 3usize);
+    let datasets = selected_datasets(&args, h.seed);
+
+    let strategies = [
+        (
+            "Naive",
+            SamplingStrategy::Naive {
+                per_selection: h.sample_per_mode,
+            },
+            1,
+        ),
+        (
+            "Random",
+            SamplingStrategy::Random {
+                per_selection: h.sample_per_mode,
+                oversample: 10,
+            },
+            repeats,
+        ),
+        (
+            "Stratified",
+            SamplingStrategy::Stratified { per_stratum: 2 },
+            repeats,
+        ),
+    ];
+
+    println!("Table 6: Results of different sampling techniques");
+    println!(
+        "(reproduction; {} folds, randomized strategies averaged over {repeats} runs)\n",
+        h.folds
+    );
+    println!(
+        "{:<6} {:<8} {:>10} {:>10} {:>10}",
+        "Data", "Measure", "Naive", "Random", "Stratified"
+    );
+
+    for ds in &datasets {
+        eprintln!("# {}", ds.summary());
+        let cells: Vec<_> = strategies
+            .iter()
+            .map(|(name, s, reps)| {
+                eprintln!("#   running {name} ...");
+                run_table6_cell(ds, *s, &h, *reps)
+            })
+            .collect();
+        println!("{:<6}", ds.name);
+        let mut fm_line = format!("{:<6} {:<8}", "", "FM");
+        let mut t_line = format!("{:<6} {:<8}", "", "Time");
+        for c in &cells {
+            match c {
+                Ok(c) => {
+                    // Partial (budget-clipped) results keep their F-measure;
+                    // the ">" on the time row marks the clip.
+                    let fm = if c.timed_out && c.f_measure == 0.0 {
+                        "-".into()
+                    } else {
+                        format!("{:.2}", c.f_measure)
+                    };
+                    fm_line.push_str(&format!(" {fm:>10}"));
+                    t_line.push_str(&format!(" {:>10}", fmt_duration(c.time, c.timed_out)));
+                }
+                Err(e) => {
+                    fm_line.push_str(&format!(" err:{e:.6}"));
+                    t_line.push_str(" -");
+                }
+            }
+        }
+        println!("{fm_line}");
+        println!("{t_line}\n");
+    }
+}

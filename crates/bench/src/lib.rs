@@ -1,0 +1,14 @@
+//! # autobias-bench — experiment harness regenerating every table and figure
+//!
+//! Binaries (run with `--release`):
+//!
+//! - `table5` — Table 5: language-bias methods × datasets;
+//! - `table6` — Table 6: sampling techniques × datasets;
+//! - `ind_times` — §6.1's IND-extraction preprocessing times;
+//! - `figure1` — Figure 1's type graph (plus the induced Table 3 bias) for UW.
+//!
+//! Criterion microbenches live in `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod harness;

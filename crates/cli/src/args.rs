@@ -1,0 +1,61 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    pub fn new(raw: Vec<String>) -> Self {
+        Self { raw }
+    }
+
+    /// Value of `--key <v>` as a string, if present.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.raw
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.raw.get(i + 1))
+            .map(String::as_str)
+    }
+
+    /// Parsed value of `--key <v>`, if present and parseable.
+    pub fn try_get<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.get_str(key).and_then(|v| v.parse().ok())
+    }
+
+    /// Parsed value of `--key <v>` or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.try_get(key).unwrap_or(default)
+    }
+
+    /// Whether the bare flag `--key` is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.raw.iter().any(|a| a == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::new(s.iter().map(|x| x.to_string()).collect())
+    }
+
+    #[test]
+    fn lookup_and_parse() {
+        let a = args(&["--seed", "42", "--out", "dir/x"]);
+        assert_eq!(a.get_str("--out"), Some("dir/x"));
+        assert_eq!(a.get("--seed", 0u64), 42);
+        assert_eq!(a.get("--missing", 7u64), 7);
+        assert_eq!(a.try_get::<u64>("--out"), None);
+    }
+
+    #[test]
+    fn missing_value_is_none() {
+        let a = args(&["--flag"]);
+        assert_eq!(a.get_str("--flag"), None);
+        assert!(a.has("--flag"));
+        assert!(!a.has("--other"));
+    }
+}

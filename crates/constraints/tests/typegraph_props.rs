@@ -1,0 +1,119 @@
+//! Property-based tests for the type graph (Algorithm 3) over random IND
+//! sets: structural invariants that must hold regardless of input.
+
+use constraints::{build_type_graph, Ind};
+use proptest::prelude::*;
+use relstore::{AttrRef, Database, RelId};
+
+/// Database with `rels` unary relations (schema only; type-graph structure
+/// depends only on the IND set).
+fn schema_db(rels: usize) -> Database {
+    let mut db = Database::new();
+    for i in 0..rels {
+        db.add_relation(&format!("r{i}"), &["a"]);
+    }
+    db
+}
+
+fn attr(i: usize) -> AttrRef {
+    AttrRef::new(RelId(i as u32), 0)
+}
+
+prop_compose! {
+    fn ind_set(rels: usize)(
+        pairs in proptest::collection::vec((0usize..8, 0usize..8, 0usize..3), 0..30)
+    ) -> Vec<Ind> {
+        pairs
+            .into_iter()
+            .filter(|(f, t, _)| f != t && *f < rels && *t < rels)
+            .map(|(f, t, e)| Ind {
+                from: attr(f),
+                to: attr(t),
+                error: match e {
+                    0 => 0.0,
+                    1 => 0.25,
+                    _ => 0.5,
+                },
+            })
+            .collect()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every attribute ends with at least one type (self-joins always legal).
+    #[test]
+    fn every_attribute_is_typed(inds in ind_set(8)) {
+        let db = schema_db(8);
+        let g = build_type_graph(&db, &inds);
+        for i in 0..8 {
+            prop_assert!(!g.types_of(attr(i)).is_empty(), "attr {i} untyped");
+            prop_assert!(g.share_type(attr(i), attr(i)));
+        }
+    }
+
+    /// Joinability is symmetric.
+    #[test]
+    fn joinability_symmetric(inds in ind_set(8)) {
+        let db = schema_db(8);
+        let g = build_type_graph(&db, &inds);
+        for i in 0..8 {
+            for j in 0..8 {
+                prop_assert_eq!(g.share_type(attr(i), attr(j)), g.share_type(attr(j), attr(i)));
+            }
+        }
+    }
+
+    /// An exact IND `A ⊆ B` always makes A and B joinable (the type of B —
+    /// or of B's cycle — propagates to A across the exact edge).
+    #[test]
+    fn exact_ind_implies_joinable(inds in ind_set(8)) {
+        let db = schema_db(8);
+        let g = build_type_graph(&db, &inds);
+        for ind in &inds {
+            if ind.is_exact() {
+                prop_assert!(
+                    g.share_type(ind.from, ind.to),
+                    "exact IND {} not joinable",
+                    ind
+                );
+            }
+        }
+    }
+
+    /// Type count is bounded by the number of attributes (each seed type
+    /// comes from a sink or a cycle; extra self-types only for orphans).
+    #[test]
+    fn type_count_bounded(inds in ind_set(8)) {
+        let db = schema_db(8);
+        let g = build_type_graph(&db, &inds);
+        prop_assert!(g.num_types as usize <= 2 * 8);
+    }
+
+    /// Deterministic: same inputs, same graph.
+    #[test]
+    fn deterministic(inds in ind_set(8)) {
+        let db = schema_db(8);
+        let a = build_type_graph(&db, &inds);
+        let b = build_type_graph(&db, &inds);
+        for i in 0..8 {
+            prop_assert_eq!(a.types_of(attr(i)), b.types_of(attr(i)));
+        }
+    }
+
+    /// Kept edges are a subset of the input INDs (dedup only removes).
+    #[test]
+    fn edges_subset_of_inds(inds in ind_set(8)) {
+        let db = schema_db(8);
+        let g = build_type_graph(&db, &inds);
+        for e in &g.edges {
+            prop_assert!(
+                inds.iter().any(|i| i.from == e.from && i.to == e.to),
+                "edge {} → {} not in input",
+                e.from,
+                e.to
+            );
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! Automatic language-bias induction — the paper's §3.
+//!
+//! Predicate definitions come from the IND-derived type graph (Algorithm 3);
+//! mode definitions from attribute cardinalities via the *constant-threshold*
+//! hyper-parameter (§3.2). The target relation (holding the positive
+//! examples) must be present in the database so its attributes participate in
+//! IND discovery and inherit types; it receives predicate definitions but no
+//! body modes.
+
+use super::{ArgMode, BiasError, LanguageBias, ModeDef, PredDef};
+use constraints::{build_type_graph, discover_inds, IndConfig, TypeGraph};
+use relstore::{AttrRef, Database, RelId};
+use std::time::{Duration, Instant};
+
+/// How the constant-threshold decides whether an attribute may be a constant
+/// (paper §3.2).
+#[derive(Debug, Clone, Copy)]
+pub enum ConstantThreshold {
+    /// Attribute may be constant if it has fewer than this many distinct values.
+    Absolute(usize),
+    /// Attribute may be constant if `distinct / tuples` is below this ratio.
+    /// The paper's experiments use `Relative(0.18)`.
+    Relative(f64),
+}
+
+impl ConstantThreshold {
+    /// Applies the threshold to one attribute.
+    pub fn allows(&self, distinct: usize, tuples: usize) -> bool {
+        match *self {
+            ConstantThreshold::Absolute(n) => distinct < n,
+            ConstantThreshold::Relative(r) => tuples > 0 && (distinct as f64 / tuples as f64) < r,
+        }
+    }
+}
+
+/// Configuration for automatic bias induction.
+#[derive(Debug, Clone)]
+pub struct AutoBiasConfig {
+    /// IND-discovery settings (the paper uses `max_error = 0.5`).
+    pub ind: IndConfig,
+    /// Constant-threshold (the paper's experiments use 18% relative).
+    pub constant_threshold: ConstantThreshold,
+    /// Cap on the size of constant-attribute subsets enumerated from the
+    /// power set in §3.2. The paper enumerates the full power set; wide
+    /// relations make that exponential, so we cap the subset size
+    /// (an explicit deviation, documented in DESIGN.md §7.5).
+    pub max_constant_set_size: usize,
+    /// Cap on predicate definitions generated per relation from the
+    /// Cartesian product of attribute type sets (§3.1 last paragraph).
+    pub max_preds_per_rel: usize,
+}
+
+impl Default for AutoBiasConfig {
+    fn default() -> Self {
+        Self {
+            ind: IndConfig::default(),
+            constant_threshold: ConstantThreshold::Relative(0.18),
+            max_constant_set_size: 3,
+            max_preds_per_rel: 64,
+        }
+    }
+}
+
+/// Summary statistics of one induction run (reported by the experiment
+/// harness alongside Table 5).
+#[derive(Debug, Clone)]
+pub struct BiasStats {
+    /// Exact INDs discovered.
+    pub exact_inds: usize,
+    /// Approximate INDs discovered (error ≤ α).
+    pub approx_inds: usize,
+    /// Distinct types in the type graph.
+    pub num_types: u32,
+    /// Predicate definitions generated.
+    pub num_preds: usize,
+    /// Mode definitions generated.
+    pub num_modes: usize,
+    /// Wall-clock time of IND discovery (the paper's "preprocessing step").
+    pub ind_time: Duration,
+    /// Wall-clock time of the rest of bias generation.
+    pub bias_time: Duration,
+}
+
+/// Induces a [`LanguageBias`] for `target` from the database content.
+///
+/// Returns the bias, the type graph (useful for display, cf. Figure 1), and
+/// induction statistics.
+pub fn induce_bias(
+    db: &Database,
+    target: RelId,
+    cfg: &AutoBiasConfig,
+) -> Result<(LanguageBias, TypeGraph, BiasStats), BiasError> {
+    let t0 = Instant::now();
+    let inds = discover_inds(db, &cfg.ind);
+    let ind_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let graph = build_type_graph(db, &inds);
+
+    let mut preds = Vec::new();
+    for (rel, schema) in db.catalog().iter() {
+        let per_attr: Vec<&[constraints::TypeId]> = (0..schema.arity())
+            .map(|pos| graph.types_of(AttrRef::new(rel, pos)))
+            .collect();
+        preds.extend(cartesian_preds(rel, &per_attr, cfg.max_preds_per_rel));
+    }
+
+    let mut modes = Vec::new();
+    for (rel, schema) in db.catalog().iter() {
+        if rel == target {
+            continue;
+        }
+        let tuples = db.relation(rel).len();
+        let constable: Vec<bool> = (0..schema.arity())
+            .map(|pos| {
+                let distinct = db.distinct(AttrRef::new(rel, pos)).len();
+                cfg.constant_threshold.allows(distinct, tuples)
+            })
+            .collect();
+        modes.extend(generate_modes(rel, &constable, cfg.max_constant_set_size));
+    }
+
+    let stats = BiasStats {
+        exact_inds: inds.iter().filter(|i| i.is_exact()).count(),
+        approx_inds: inds.iter().filter(|i| !i.is_exact()).count(),
+        num_types: graph.num_types,
+        num_preds: preds.len(),
+        num_modes: modes.len(),
+        ind_time,
+        bias_time: t1.elapsed(),
+    };
+
+    let bias = LanguageBias::new(db, target, preds, modes)?;
+    Ok((bias, graph, stats))
+}
+
+/// Cartesian product of per-attribute type sets → one [`PredDef`] per
+/// combination, capped at `max` definitions (paper §3.1: "for each tuple in
+/// this Cartesian product, it produces a predicate definition").
+pub(crate) fn cartesian_preds(
+    rel: RelId,
+    per_attr: &[&[constraints::TypeId]],
+    max: usize,
+) -> Vec<PredDef> {
+    if per_attr.iter().any(|ts| ts.is_empty()) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut cursor = vec![0usize; per_attr.len()];
+    loop {
+        out.push(PredDef {
+            rel,
+            types: cursor.iter().zip(per_attr).map(|(&i, ts)| ts[i]).collect(),
+        });
+        if out.len() >= max {
+            break;
+        }
+        // Odometer increment.
+        let mut pos = per_attr.len();
+        loop {
+            if pos == 0 {
+                return out;
+            }
+            pos -= 1;
+            cursor[pos] += 1;
+            if cursor[pos] < per_attr[pos].len() {
+                break;
+            }
+            cursor[pos] = 0;
+        }
+    }
+    out
+}
+
+/// Generates mode definitions per §3.2: for every attribute `j`, a mode with
+/// `+` at `j` and `-` elsewhere; then, for every non-empty subset `M` of
+/// constant-able attributes (|M| ≤ `max_set`), the same family with `#` on
+/// the attributes of `M`. Every mode keeps at least one `+` (avoiding
+/// Cartesian products in clauses), so subsets covering all attributes are
+/// skipped for the positions question — the `+` goes on an attribute outside
+/// `M`.
+pub(crate) fn generate_modes(rel: RelId, constable: &[bool], max_set: usize) -> Vec<ModeDef> {
+    let arity = constable.len();
+    let const_positions: Vec<usize> = (0..arity).filter(|&i| constable[i]).collect();
+    let mut out = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+
+    // Enumerate subsets of the constant-able positions by size, empty first.
+    let mut subsets: Vec<Vec<usize>> = vec![Vec::new()];
+    for size in 1..=const_positions.len().min(max_set) {
+        subsets.extend(combinations(&const_positions, size));
+    }
+
+    for subset in subsets {
+        for plus in 0..arity {
+            if subset.contains(&plus) {
+                continue;
+            }
+            let args: Vec<ArgMode> = (0..arity)
+                .map(|i| {
+                    if i == plus {
+                        ArgMode::Plus
+                    } else if subset.contains(&i) {
+                        ArgMode::Hash
+                    } else {
+                        ArgMode::Minus
+                    }
+                })
+                .collect();
+            if seen.insert(args.clone()) {
+                out.push(ModeDef { rel, args });
+            }
+        }
+    }
+    out
+}
+
+/// All `size`-element combinations of `items`.
+fn combinations(items: &[usize], size: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut stack: Vec<(usize, Vec<usize>)> = vec![(0, Vec::new())];
+    while let Some((start, acc)) = stack.pop() {
+        if acc.len() == size {
+            out.push(acc);
+            continue;
+        }
+        for (i, &item) in items.iter().enumerate().skip(start) {
+            let mut next = acc.clone();
+            next.push(item);
+            stack.push((i + 1, next));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use constraints::TypeId;
+    use relstore::fixtures::uw_fragment;
+
+    #[test]
+    fn generate_modes_basic() {
+        // Binary relation, second attribute constant-able — the paper's
+        // inPhase example: expect (+,-), (-,+), (+,#).
+        let modes = generate_modes(RelId(0), &[false, true], 3);
+        let sigs: Vec<String> = modes
+            .iter()
+            .map(|m| {
+                m.args
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("")
+            })
+            .collect();
+        assert!(sigs.contains(&"+-".to_string()));
+        assert!(sigs.contains(&"-+".to_string()));
+        assert!(sigs.contains(&"+#".to_string()));
+        assert_eq!(modes.len(), 3);
+    }
+
+    #[test]
+    fn no_mode_without_plus() {
+        // Unary constant-able attribute: no valid mode can exist with `#`
+        // only, so just the `+` mode appears.
+        let modes = generate_modes(RelId(0), &[true], 3);
+        assert_eq!(modes.len(), 1);
+        assert_eq!(modes[0].args, vec![ArgMode::Plus]);
+    }
+
+    #[test]
+    fn subset_cap_limits_hash_count() {
+        let modes = generate_modes(RelId(0), &[true; 5], 2);
+        let max_hashes = modes
+            .iter()
+            .map(|m| m.args.iter().filter(|a| **a == ArgMode::Hash).count())
+            .max()
+            .unwrap();
+        assert_eq!(max_hashes, 2);
+        // Every mode has exactly one +.
+        for m in &modes {
+            assert_eq!(m.plus_positions().count(), 1);
+        }
+    }
+
+    #[test]
+    fn cartesian_preds_products_types() {
+        let t = |n| TypeId(n);
+        let a0 = [t(4)];
+        let a1 = [t(0), t(2)];
+        let per_attr: Vec<&[TypeId]> = vec![&a0, &a1];
+        let preds = cartesian_preds(RelId(1), &per_attr, 64);
+        assert_eq!(preds.len(), 2);
+        assert_eq!(preds[0].types, vec![t(4), t(0)]);
+        assert_eq!(preds[1].types, vec![t(4), t(2)]);
+    }
+
+    #[test]
+    fn cartesian_preds_respects_cap() {
+        let t = |n| TypeId(n);
+        let types: Vec<TypeId> = (0..4).map(t).collect();
+        let per_attr: Vec<&[TypeId]> = vec![&types, &types, &types];
+        let preds = cartesian_preds(RelId(0), &per_attr, 10);
+        assert_eq!(preds.len(), 10);
+    }
+
+    #[test]
+    fn induce_bias_on_uw_fragment() {
+        let mut db = uw_fragment();
+        let target = db.add_relation("advisedBy", &["stud", "prof"]);
+        db.insert(target, &["juan", "sarita"]);
+        db.insert(target, &["john", "mary"]);
+        let cfg = AutoBiasConfig {
+            constant_threshold: ConstantThreshold::Absolute(3),
+            ..AutoBiasConfig::default()
+        };
+        let (bias, _graph, stats) = induce_bias(&db, target, &cfg).unwrap();
+        assert_eq!(bias.target, target);
+        assert!(stats.num_preds > 0);
+        assert!(stats.num_modes > 0);
+        // Target must not appear in body modes.
+        assert!(bias.modes.iter().all(|m| m.rel != target));
+        // inPhase[phase] has 1 distinct value < 3 → constant-able.
+        let phase_rel = db.rel_id("inPhase").unwrap();
+        assert!(bias.can_be_const(AttrRef::new(phase_rel, 1)));
+        // The head must be typed.
+        assert!(!bias.types_of(AttrRef::new(target, 0)).is_empty());
+        // advisedBy[stud] must be joinable with student[stud] (exact IND).
+        let student = db.rel_id("student").unwrap();
+        assert!(bias.share_type(AttrRef::new(target, 0), AttrRef::new(student, 0)));
+    }
+
+    #[test]
+    fn relative_threshold_small_ratio_allows() {
+        let th = ConstantThreshold::Relative(0.18);
+        assert!(th.allows(10, 100)); // 10% distinct
+        assert!(!th.allows(50, 100)); // 50% distinct
+        assert!(!th.allows(0, 0)); // empty relation: no constants
+    }
+}

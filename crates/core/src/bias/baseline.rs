@@ -1,0 +1,106 @@
+//! Baseline language biases from the paper's §6.2:
+//!
+//! - **Castor** — no real bias: every attribute shares one type, and every
+//!   attribute may be a variable *or* a constant;
+//! - **Castor without constants (`No const.`)** — one shared type, variables
+//!   only.
+//!
+//! Both reuse the §3.2 mode-generation machinery with a degenerate
+//! constant-ability predicate.
+
+use super::auto::generate_modes;
+use super::{BiasError, LanguageBias, ModeDef, PredDef};
+use constraints::TypeId;
+use relstore::{Database, RelId};
+
+/// Builds the Castor baseline bias: a single universal type and constants
+/// allowed on every attribute. `max_constant_set_size` caps the `#`-subset
+/// enumeration exactly as in [`super::auto::AutoBiasConfig`].
+pub fn castor_bias(
+    db: &Database,
+    target: RelId,
+    max_constant_set_size: usize,
+) -> Result<LanguageBias, BiasError> {
+    build_uniform(db, target, true, max_constant_set_size)
+}
+
+/// Builds the `No const.` baseline: a single universal type, no constants.
+pub fn no_const_bias(db: &Database, target: RelId) -> Result<LanguageBias, BiasError> {
+    build_uniform(db, target, false, 0)
+}
+
+fn build_uniform(
+    db: &Database,
+    target: RelId,
+    constants: bool,
+    max_set: usize,
+) -> Result<LanguageBias, BiasError> {
+    let universal = TypeId(0);
+    let mut preds = Vec::new();
+    let mut modes: Vec<ModeDef> = Vec::new();
+    for (rel, schema) in db.catalog().iter() {
+        preds.push(PredDef {
+            rel,
+            types: vec![universal; schema.arity()],
+        });
+        if rel != target {
+            let constable = vec![constants; schema.arity()];
+            modes.extend(generate_modes(rel, &constable, max_set));
+        }
+    }
+    LanguageBias::new(db, target, preds, modes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::fixtures::uw_fragment;
+    use relstore::AttrRef;
+
+    fn with_target() -> (Database, RelId) {
+        let mut db = uw_fragment();
+        let target = db.add_relation("advisedBy", &["stud", "prof"]);
+        db.insert(target, &["juan", "sarita"]);
+        (db, target)
+    }
+
+    #[test]
+    fn castor_everything_joins_everything() {
+        let (db, target) = with_target();
+        let bias = castor_bias(&db, target, 2).unwrap();
+        let student = db.rel_id("student").unwrap();
+        let phase = db.rel_id("inPhase").unwrap();
+        // Even semantically different attributes share the universal type.
+        assert!(bias.share_type(AttrRef::new(student, 0), AttrRef::new(phase, 1)));
+        // Constants allowed everywhere.
+        assert!(bias.can_be_const(AttrRef::new(phase, 0)));
+        assert!(bias.can_be_const(AttrRef::new(phase, 1)));
+    }
+
+    #[test]
+    fn no_const_has_no_hash_modes() {
+        let (db, target) = with_target();
+        let bias = no_const_bias(&db, target).unwrap();
+        for (rel, schema) in db.catalog().iter() {
+            for pos in 0..schema.arity() {
+                assert!(!bias.can_be_const(AttrRef::new(rel, pos)));
+            }
+        }
+        // Still has one mode per attribute per relation (minus the target).
+        let expected: usize = db
+            .catalog()
+            .iter()
+            .filter(|(r, _)| *r != target)
+            .map(|(_, s)| s.arity())
+            .sum();
+        assert_eq!(bias.modes.len(), expected);
+    }
+
+    #[test]
+    fn castor_bias_is_larger_than_no_const() {
+        let (db, target) = with_target();
+        let castor = castor_bias(&db, target, 2).unwrap();
+        let noconst = no_const_bias(&db, target).unwrap();
+        assert!(castor.size() > noconst.size());
+    }
+}

@@ -1,0 +1,175 @@
+//! The McCreath–Sharma overlap heuristic (paper §7, ref \[34\]): assign two
+//! attributes the same type whenever their value sets overlap in **at least
+//! one element**. The paper argues this "may deliver a significantly
+//! under-restricted search space" compared to IND-based typing — this module
+//! exists so the claim can be measured (the `table5 --extended` column).
+//!
+//! Types are the connected components of the overlap relation (computed with
+//! union-find), so a single shared value anywhere merges two domains —
+//! exactly the over-merging the paper warns about.
+
+use super::auto::{generate_modes, ConstantThreshold};
+use super::{BiasError, LanguageBias, PredDef};
+use constraints::TypeId;
+use relstore::{AttrRef, Const, Database, FxHashMap, RelId};
+
+/// Union-find over attribute indices.
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: u32) -> u32 {
+        let mut root = x;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Builds the overlap-typed bias: attributes sharing any value share a type;
+/// modes are generated exactly like AutoBias's (§3.2) under the given
+/// constant-threshold.
+pub fn overlap_bias(
+    db: &Database,
+    target: RelId,
+    constant_threshold: ConstantThreshold,
+    max_constant_set_size: usize,
+) -> Result<LanguageBias, BiasError> {
+    let attrs = db.catalog().all_attrs();
+    let mut uf = UnionFind::new(attrs.len());
+
+    // Invert: value → first attribute seen with it; union subsequent ones.
+    let mut owner: FxHashMap<Const, u32> = FxHashMap::default();
+    for (ai, &attr) in attrs.iter().enumerate() {
+        for v in db.distinct(attr) {
+            match owner.get(&v) {
+                Some(&first) => uf.union(first, ai as u32),
+                None => {
+                    owner.insert(v, ai as u32);
+                }
+            }
+        }
+    }
+
+    // Components → dense type ids.
+    let mut type_of_root: FxHashMap<u32, TypeId> = FxHashMap::default();
+    let mut next = 0u32;
+    let mut attr_type: FxHashMap<AttrRef, TypeId> = FxHashMap::default();
+    for (ai, &attr) in attrs.iter().enumerate() {
+        let root = uf.find(ai as u32);
+        let t = *type_of_root.entry(root).or_insert_with(|| {
+            let t = TypeId(next);
+            next += 1;
+            t
+        });
+        attr_type.insert(attr, t);
+    }
+
+    let mut preds = Vec::new();
+    let mut modes = Vec::new();
+    for (rel, schema) in db.catalog().iter() {
+        let types: Vec<TypeId> = (0..schema.arity())
+            .map(|pos| attr_type[&AttrRef::new(rel, pos)])
+            .collect();
+        preds.push(PredDef { rel, types });
+        if rel != target {
+            let tuples = db.relation(rel).len();
+            let constable: Vec<bool> = (0..schema.arity())
+                .map(|pos| {
+                    let distinct = db.distinct(AttrRef::new(rel, pos)).len();
+                    constant_threshold.allows(distinct, tuples)
+                })
+                .collect();
+            modes.extend(generate_modes(rel, &constable, max_constant_set_size));
+        }
+    }
+    LanguageBias::new(db, target, preds, modes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::fixtures::uw_fragment;
+
+    fn attr(db: &Database, rel: &str, a: &str) -> AttrRef {
+        let r = db.rel_id(rel).unwrap();
+        AttrRef::new(r, db.catalog().schema(r).attr_pos(a).unwrap())
+    }
+
+    #[test]
+    fn single_shared_value_merges_types() {
+        let mut db = uw_fragment();
+        let target = db.add_relation("advisedBy", &["stud", "prof"]);
+        db.insert(target, &["juan", "sarita"]);
+        let bias = overlap_bias(&db, target, ConstantThreshold::Absolute(3), 2).unwrap();
+        // publication[person] overlaps both student[stud] (juan) and
+        // professor[prof] (sarita) → all three in ONE type: the
+        // over-merging the paper describes.
+        assert!(bias.share_type(
+            attr(&db, "publication", "person"),
+            attr(&db, "student", "stud")
+        ));
+        assert!(bias.share_type(attr(&db, "student", "stud"), attr(&db, "professor", "prof")));
+    }
+
+    #[test]
+    fn disjoint_domains_stay_separate() {
+        let mut db = Database::new();
+        let r = db.add_relation("r", &["a"]);
+        let s = db.add_relation("s", &["b"]);
+        let target = db.add_relation("t", &["x"]);
+        db.insert(r, &["v1"]);
+        db.insert(s, &["w1"]);
+        db.insert(target, &["v1"]);
+        let bias = overlap_bias(&db, target, ConstantThreshold::Absolute(2), 2).unwrap();
+        assert!(!bias.share_type(AttrRef::new(r, 0), AttrRef::new(s, 0)));
+        // target shares v1 with r.
+        assert!(bias.share_type(AttrRef::new(target, 0), AttrRef::new(r, 0)));
+    }
+
+    #[test]
+    fn overlap_is_coarser_than_ind_typing() {
+        // On the UW fragment the overlap bias has at most as many types as
+        // the IND-based one (it merges at the slightest contact).
+        let mut db = uw_fragment();
+        let target = db.add_relation("advisedBy", &["stud", "prof"]);
+        db.insert(target, &["juan", "sarita"]);
+        let overlap = overlap_bias(&db, target, ConstantThreshold::Absolute(3), 2).unwrap();
+        let (auto, _, _) =
+            super::super::auto::induce_bias(&db, target, &Default::default()).unwrap();
+        let distinct_types = |b: &LanguageBias| {
+            let mut ts: Vec<TypeId> = b
+                .preds
+                .iter()
+                .flat_map(|p| p.types.iter().copied())
+                .collect();
+            ts.sort_unstable();
+            ts.dedup();
+            ts.len()
+        };
+        assert!(distinct_types(&overlap) <= distinct_types(&auto));
+    }
+}

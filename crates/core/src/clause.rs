@@ -1,0 +1,358 @@
+//! Horn clauses: terms, literals, clauses, and Horn definitions
+//! (paper §2.1, Definitions 2.1–2.2).
+
+use relstore::{Const, Database, FxHashMap, FxHashSet, RelId};
+
+/// A clause-local variable. Ids are dense within one clause; head variables
+/// come first by convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Short display name: `x, y, z, v3, v4, …` (first three match the
+    /// paper's examples).
+    pub fn label(self) -> String {
+        match self.0 {
+            0 => "x".into(),
+            1 => "y".into(),
+            2 => "z".into(),
+            n => format!("v{n}"),
+        }
+    }
+}
+
+/// A term: a variable or an interned constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// An (existentially quantified) variable.
+    Var(VarId),
+    /// A constant value.
+    Const(Const),
+}
+
+impl Term {
+    /// The variable id, if this term is a variable.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+/// A positive literal `R(t1, …, tn)`. Learned definitions are non-recursive
+/// Datalog without negation (paper §2.1), so negated literals never occur.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// Relation symbol.
+    pub rel: RelId,
+    /// Argument terms, one per attribute.
+    pub args: Box<[Term]>,
+}
+
+impl Literal {
+    /// Creates a literal.
+    pub fn new(rel: RelId, args: impl Into<Box<[Term]>>) -> Self {
+        Self {
+            rel,
+            args: args.into(),
+        }
+    }
+
+    /// Iterates over the variables appearing in this literal.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.args.iter().filter_map(|t| t.as_var())
+    }
+
+    /// Renders with constant names from `db`.
+    pub fn render(&self, db: &Database) -> String {
+        let name = &db.catalog().schema(self.rel).name;
+        let args: Vec<String> = self
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Var(v) => v.label(),
+                Term::Const(c) => db.const_name(*c).to_string(),
+            })
+            .collect();
+        format!("{}({})", name, args.join(", "))
+    }
+}
+
+/// A Horn clause: one head literal and a conjunctive body
+/// (paper Definition 2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clause {
+    /// The single positive (head) literal.
+    pub head: Literal,
+    /// Body literals, in construction order.
+    pub body: Vec<Literal>,
+}
+
+impl Clause {
+    /// Creates a clause from a head and body.
+    pub fn new(head: Literal, body: Vec<Literal>) -> Self {
+        Self { head, body }
+    }
+
+    /// Number of body literals.
+    pub fn len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Whether the body is empty.
+    pub fn is_empty(&self) -> bool {
+        self.body.is_empty()
+    }
+
+    /// The largest variable id used, plus one (for allocating fresh vars).
+    pub fn num_vars(&self) -> u32 {
+        let mut max = 0u32;
+        for v in self
+            .head
+            .vars()
+            .chain(self.body.iter().flat_map(|l| l.vars()))
+        {
+            max = max.max(v.0 + 1);
+        }
+        max
+    }
+
+    /// Indices of body literals that are *head-connected*: connected to a
+    /// head variable through a chain of shared variables (paper §4.2.1).
+    ///
+    /// Literals with no variables at all (fully ground) are treated as
+    /// connected — they constrain the clause globally.
+    pub fn head_connected_indices(&self) -> Vec<usize> {
+        let head_vars: FxHashSet<VarId> = self.head.vars().collect();
+        let mut connected_vars = head_vars;
+        let mut included = vec![false; self.body.len()];
+        // Fixpoint: a literal is connected if it shares a var with the
+        // connected set; its vars then join the set.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (i, lit) in self.body.iter().enumerate() {
+                if included[i] {
+                    continue;
+                }
+                let lit_vars: Vec<VarId> = lit.vars().collect();
+                if lit_vars.is_empty() || lit_vars.iter().any(|v| connected_vars.contains(v)) {
+                    included[i] = true;
+                    changed = true;
+                    for v in lit_vars {
+                        connected_vars.insert(v);
+                    }
+                }
+            }
+        }
+        (0..self.body.len()).filter(|&i| included[i]).collect()
+    }
+
+    /// Removes body literals that are not head-connected, preserving order.
+    /// Returns the number of literals dropped.
+    pub fn prune_unconnected(&mut self) -> usize {
+        let keep = self.head_connected_indices();
+        if keep.len() == self.body.len() {
+            return 0;
+        }
+        let dropped = self.body.len() - keep.len();
+        let mut new_body = Vec::with_capacity(keep.len());
+        for i in keep {
+            new_body.push(self.body[i].clone());
+        }
+        self.body = new_body;
+        dropped
+    }
+
+    /// Renders the clause in the paper's notation.
+    pub fn render(&self, db: &Database) -> String {
+        if self.body.is_empty() {
+            return format!("{} ← true", self.head.render(db));
+        }
+        let body: Vec<String> = self.body.iter().map(|l| l.render(db)).collect();
+        format!("{} ← {}", self.head.render(db), body.join(", "))
+    }
+
+    /// Renumbers variables densely (head vars first, then body order) so two
+    /// syntactically identical clauses compare equal after independent
+    /// construction histories.
+    pub fn canonicalize_vars(&mut self) {
+        let mut map: FxHashMap<VarId, VarId> = FxHashMap::default();
+        let mut next = 0u32;
+        let mut renumber = |t: &mut Term, map: &mut FxHashMap<VarId, VarId>| {
+            if let Term::Var(v) = t {
+                let nv = *map.entry(*v).or_insert_with(|| {
+                    let nv = VarId(next);
+                    next += 1;
+                    nv
+                });
+                *t = Term::Var(nv);
+            }
+        };
+        for t in self.head.args.iter_mut() {
+            renumber(t, &mut map);
+        }
+        for lit in &mut self.body {
+            for t in lit.args.iter_mut() {
+                renumber(t, &mut map);
+            }
+        }
+    }
+}
+
+/// A Horn definition: a set of clauses sharing a head relation
+/// (paper Definition 2.2). Covers an example when any clause does.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Definition {
+    /// The learned clauses, in the order the covering loop accepted them.
+    pub clauses: Vec<Clause>,
+}
+
+impl Definition {
+    /// Creates an empty definition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of clauses.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether the definition has no clauses.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Total body literals across clauses.
+    pub fn total_literals(&self) -> usize {
+        self.clauses.iter().map(Clause::len).sum()
+    }
+
+    /// Renders all clauses, one per line.
+    pub fn render(&self, db: &Database) -> String {
+        self.clauses
+            .iter()
+            .map(|c| c.render(db))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> Term {
+        Term::Var(VarId(n))
+    }
+
+    #[test]
+    fn head_connected_basic() {
+        // head(x,y) ← r(x,z), s(z), t(w)   — t(w) is disconnected.
+        let r = RelId(0);
+        let s = RelId(1);
+        let t = RelId(2);
+        let h = RelId(3);
+        let clause = Clause::new(
+            Literal::new(h, vec![v(0), v(1)]),
+            vec![
+                Literal::new(r, vec![v(0), v(2)]),
+                Literal::new(s, vec![v(2)]),
+                Literal::new(t, vec![v(3)]),
+            ],
+        );
+        assert_eq!(clause.head_connected_indices(), vec![0, 1]);
+    }
+
+    #[test]
+    fn connection_through_chains() {
+        // head(x) ← a(x,z), b(z,w), c(w)   — all connected transitively.
+        let clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+                Literal::new(RelId(1), vec![v(2), v(3)]),
+                Literal::new(RelId(2), vec![v(3)]),
+            ],
+        );
+        assert_eq!(clause.head_connected_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn order_of_discovery_does_not_matter() {
+        // head(x) ← c(w), b(z,w), a(x,z) — connectivity found right-to-left.
+        let clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0)]),
+            vec![
+                Literal::new(RelId(2), vec![v(3)]),
+                Literal::new(RelId(1), vec![v(2), v(3)]),
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+            ],
+        );
+        assert_eq!(clause.head_connected_indices(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn prune_unconnected_removes_and_counts() {
+        let mut clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0)]),
+                Literal::new(RelId(1), vec![v(5)]),
+            ],
+        );
+        assert_eq!(clause.prune_unconnected(), 1);
+        assert_eq!(clause.len(), 1);
+        assert_eq!(clause.body[0].rel, RelId(0));
+    }
+
+    #[test]
+    fn ground_literals_count_as_connected() {
+        let mut clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0)]),
+            vec![Literal::new(RelId(0), vec![Term::Const(Const(7))])],
+        );
+        assert_eq!(clause.prune_unconnected(), 0);
+    }
+
+    #[test]
+    fn canonicalize_maps_identical_structures_together() {
+        let mut a = Clause::new(
+            Literal::new(RelId(9), vec![v(3)]),
+            vec![Literal::new(RelId(0), vec![v(3), v(7)])],
+        );
+        let mut b = Clause::new(
+            Literal::new(RelId(9), vec![v(1)]),
+            vec![Literal::new(RelId(0), vec![v(1), v(4)])],
+        );
+        a.canonicalize_vars();
+        b.canonicalize_vars();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_uses_paper_notation() {
+        let mut db = Database::new();
+        let stud = db.add_relation("student", &["stud"]);
+        let adv = db.add_relation("advisedBy", &["stud", "prof"]);
+        let clause = Clause::new(
+            Literal::new(adv, vec![v(0), v(1)]),
+            vec![Literal::new(stud, vec![v(0)])],
+        );
+        assert_eq!(clause.render(&db), "advisedBy(x, y) ← student(x)");
+    }
+
+    #[test]
+    fn num_vars_counts_max() {
+        let clause = Clause::new(Literal::new(RelId(0), vec![v(0), v(4)]), vec![]);
+        assert_eq!(clause.num_vars(), 5);
+    }
+}

@@ -1,0 +1,332 @@
+//! Textual round trip for clauses and definitions, so learned models can be
+//! saved, versioned, and reloaded. The format is exactly what
+//! [`Clause::render`] prints:
+//!
+//! ```text
+//! advisedBy(x, y) ← publication(z, x), publication(z, y)
+//! advisedBy(x, y) ← ta(z, x, v3), taughtBy(z, y, v3)
+//! ```
+//!
+//! Tokens `x`, `y`, `z`, and `v<N>` are variables (the renderer's labels);
+//! every other argument token is a constant, interned into the database's
+//! dictionary on load. `<-` is accepted in place of `←`.
+//!
+//! ```
+//! use autobias::clause_text::parse_definition;
+//! let mut db = relstore::fixtures::uw_fragment();
+//! db.add_relation("advisedBy", &["stud", "prof"]);
+//! let def = parse_definition(
+//!     &mut db,
+//!     "advisedBy(x, y) <- publication(z, x), publication(z, y)",
+//! )
+//! .unwrap();
+//! assert_eq!(def.len(), 1);
+//! assert_eq!(
+//!     def.render(&db),
+//!     "advisedBy(x, y) ← publication(z, x), publication(z, y)"
+//! );
+//! ```
+
+use crate::clause::{Clause, Definition, Literal, Term, VarId};
+use relstore::{Database, FxHashMap};
+use std::fmt;
+
+/// Errors raised while parsing clause text.
+#[derive(Debug)]
+pub enum ClauseParseError {
+    /// Structurally malformed text (missing arrow, parentheses, …).
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// A literal naming an unknown relation.
+    UnknownRelation {
+        /// 1-based line number.
+        line: usize,
+        /// The name in question.
+        name: String,
+    },
+    /// A literal whose argument count does not match the relation's arity.
+    Arity {
+        /// 1-based line number.
+        line: usize,
+        /// Relation name.
+        name: String,
+        /// Arguments given.
+        given: usize,
+        /// Arity expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for ClauseParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClauseParseError::Malformed { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            ClauseParseError::UnknownRelation { line, name } => {
+                write!(f, "line {line}: unknown relation {name:?}")
+            }
+            ClauseParseError::Arity {
+                line,
+                name,
+                given,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "line {line}: {name} takes {expected} arguments, got {given}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClauseParseError {}
+
+/// Whether a token is one of the renderer's variable labels.
+fn is_var_token(tok: &str) -> bool {
+    matches!(tok, "x" | "y" | "z")
+        || (tok.starts_with('v') && tok.len() > 1 && tok[1..].chars().all(|c| c.is_ascii_digit()))
+}
+
+fn var_id(tok: &str) -> u32 {
+    match tok {
+        "x" => 0,
+        "y" => 1,
+        "z" => 2,
+        _ => tok[1..].parse().expect("checked by is_var_token"),
+    }
+}
+
+/// Splits `name(arg1, arg2)` into name and raw args.
+fn split_call(s: &str, line: usize) -> Result<(&str, Vec<&str>), ClauseParseError> {
+    let open = s.find('(').ok_or_else(|| ClauseParseError::Malformed {
+        line,
+        message: format!("expected `rel(args)` in {s:?}"),
+    })?;
+    let close = s.rfind(')').ok_or_else(|| ClauseParseError::Malformed {
+        line,
+        message: format!("missing `)` in {s:?}"),
+    })?;
+    let name = s[..open].trim();
+    let inner = &s[open + 1..close];
+    let args = if inner.trim().is_empty() {
+        Vec::new()
+    } else {
+        inner.split(',').map(str::trim).collect()
+    };
+    Ok((name, args))
+}
+
+/// Parses one clause line. Constants are interned into `db`.
+pub fn parse_clause(
+    db: &mut Database,
+    text: &str,
+    line_no: usize,
+) -> Result<Clause, ClauseParseError> {
+    let (head_text, body_text) = match text.split_once('←').or_else(|| text.split_once("<-")) {
+        Some((h, b)) => (h.trim(), b.trim()),
+        None => (text.trim(), ""),
+    };
+
+    // Split the body on commas at parenthesis depth zero.
+    let mut body_parts: Vec<String> = Vec::new();
+    if !body_text.is_empty() && body_text != "true" {
+        let mut depth = 0usize;
+        let mut cur = String::new();
+        for ch in body_text.chars() {
+            match ch {
+                '(' => {
+                    depth += 1;
+                    cur.push(ch);
+                }
+                ')' => {
+                    depth = depth.saturating_sub(1);
+                    cur.push(ch);
+                }
+                ',' if depth == 0 => body_parts.push(std::mem::take(&mut cur)),
+                _ => cur.push(ch),
+            }
+        }
+        if !cur.trim().is_empty() {
+            body_parts.push(cur);
+        }
+    }
+
+    let parse_literal = |s: &str, db: &mut Database| -> Result<Literal, ClauseParseError> {
+        let (name, args) = split_call(s.trim(), line_no)?;
+        let rel = db
+            .rel_id(name)
+            .ok_or_else(|| ClauseParseError::UnknownRelation {
+                line: line_no,
+                name: name.to_string(),
+            })?;
+        let expected = db.catalog().schema(rel).arity();
+        if args.len() != expected {
+            return Err(ClauseParseError::Arity {
+                line: line_no,
+                name: name.to_string(),
+                given: args.len(),
+                expected,
+            });
+        }
+        let terms: Vec<Term> = args
+            .iter()
+            .map(|a| {
+                if is_var_token(a) {
+                    Term::Var(VarId(var_id(a)))
+                } else {
+                    Term::Const(db.intern(a))
+                }
+            })
+            .collect();
+        Ok(Literal::new(rel, terms))
+    };
+
+    let head = parse_literal(head_text, db)?;
+    let mut body = Vec::with_capacity(body_parts.len());
+    for p in &body_parts {
+        body.push(parse_literal(p, db)?);
+    }
+    let mut clause = Clause::new(head, body);
+    // Renumber densely so round trips through render/parse are stable even
+    // though labels skip numbers.
+    normalize(&mut clause);
+    Ok(clause)
+}
+
+/// Renumbers variables to match the renderer's labeling scheme (head vars
+/// first, then body order) without changing structure.
+fn normalize(clause: &mut Clause) {
+    let mut map: FxHashMap<VarId, VarId> = FxHashMap::default();
+    let mut next = 0u32;
+    let mut rn = |t: &mut Term, map: &mut FxHashMap<VarId, VarId>| {
+        if let Term::Var(v) = t {
+            let nv = *map.entry(*v).or_insert_with(|| {
+                let nv = VarId(next);
+                next += 1;
+                nv
+            });
+            *t = Term::Var(nv);
+        }
+    };
+    for t in clause.head.args.iter_mut() {
+        rn(t, &mut map);
+    }
+    for lit in &mut clause.body {
+        for t in lit.args.iter_mut() {
+            rn(t, &mut map);
+        }
+    }
+}
+
+/// Parses a full definition: one clause per line; blank lines and `#`
+/// comments ignored.
+pub fn parse_definition(db: &mut Database, text: &str) -> Result<Definition, ClauseParseError> {
+    let mut def = Definition::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        def.clauses.push(parse_clause(db, line, i + 1)?);
+    }
+    Ok(def)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relstore::fixtures::uw_fragment;
+
+    fn setup() -> Database {
+        let mut db = uw_fragment();
+        db.add_relation("advisedBy", &["stud", "prof"]);
+        db
+    }
+
+    #[test]
+    fn roundtrip_via_render() {
+        let mut db = setup();
+        let text = "advisedBy(x, y) ← publication(z, x), publication(z, y)";
+        let clause = parse_clause(&mut db, text, 1).unwrap();
+        assert_eq!(clause.render(&db), text);
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let mut db = setup();
+        let clause = parse_clause(&mut db, "advisedBy(x, y) ← inPhase(x, post_quals)", 1).unwrap();
+        let post_quals = db.lookup("post_quals").unwrap();
+        assert_eq!(clause.body[0].args[1], Term::Const(post_quals));
+        // And a brand-new constant gets interned:
+        let c2 = parse_clause(&mut db, "advisedBy(x, y) ← inPhase(x, pre_thesis)", 1).unwrap();
+        assert!(db.lookup("pre_thesis").is_some());
+        let _ = c2;
+    }
+
+    #[test]
+    fn body_free_clause_and_ascii_arrow() {
+        let mut db = setup();
+        let a = parse_clause(&mut db, "advisedBy(x, y)", 1).unwrap();
+        assert!(a.body.is_empty());
+        let b = parse_clause(&mut db, "advisedBy(x, y) <- student(x)", 1).unwrap();
+        assert_eq!(b.body.len(), 1);
+        let c = parse_clause(&mut db, "advisedBy(x, y) ← true", 1).unwrap();
+        assert!(c.body.is_empty());
+    }
+
+    #[test]
+    fn high_variable_labels_parse() {
+        let mut db = setup();
+        let clause = parse_clause(
+            &mut db,
+            "advisedBy(x, y) ← publication(v12, x), publication(v12, y)",
+            1,
+        )
+        .unwrap();
+        // v12 normalized but shared between the two literals.
+        assert_eq!(clause.body[0].args[0], clause.body[1].args[0]);
+    }
+
+    #[test]
+    fn definition_roundtrip() {
+        let mut db = setup();
+        let text = "\
+# learned model
+advisedBy(x, y) ← publication(z, x), publication(z, y)
+
+advisedBy(x, y) ← student(x), professor(y)";
+        let def = parse_definition(&mut db, text).unwrap();
+        assert_eq!(def.len(), 2);
+        let rendered = def.render(&db);
+        let again = parse_definition(&mut db, &rendered).unwrap();
+        assert_eq!(def, again);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let mut db = setup();
+        let err = parse_definition(&mut db, "advisedBy(x, y)\nnosuch(x)").unwrap_err();
+        assert!(matches!(
+            err,
+            ClauseParseError::UnknownRelation { line: 2, .. }
+        ));
+        let err = parse_definition(&mut db, "advisedBy(x)").unwrap_err();
+        assert!(matches!(
+            err,
+            ClauseParseError::Arity {
+                line: 1,
+                given: 1,
+                expected: 2,
+                ..
+            }
+        ));
+        let err = parse_definition(&mut db, "advisedBy x, y").unwrap_err();
+        assert!(matches!(err, ClauseParseError::Malformed { line: 1, .. }));
+    }
+}

@@ -1,0 +1,235 @@
+//! Coverage testing (paper §5): ground bottom clauses are built **once** per
+//! training example (with the same sampling strategy as BC construction) and
+//! reused for every candidate clause during generalization, replacing
+//! hundred-join SQL queries with θ-subsumption tests.
+
+use crate::bias::LanguageBias;
+use crate::bottom::{build_bottom_clause, BcConfig, BottomClause, GroundClause};
+use crate::clause::Clause;
+use crate::example::TrainingSet;
+use crate::subsume::{theta_subsumes, SubsumeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use relstore::Database;
+
+/// Ground BCs for every training example plus the subsumption budget.
+#[derive(Debug)]
+pub struct CoverageEngine {
+    /// Full bottom clauses (variable-ized + ground) for the positives; the
+    /// variable-ized clause of positive `i` seeds `LearnClause`.
+    pub pos: Vec<BottomClause>,
+    /// Ground BCs for the negatives (their variable-ized form is never needed).
+    pub neg: Vec<GroundClause>,
+    scfg: SubsumeConfig,
+    seed: u64,
+}
+
+impl CoverageEngine {
+    /// Builds ground BCs for every example in `train`, in parallel.
+    pub fn build(
+        db: &Database,
+        bias: &LanguageBias,
+        train: &TrainingSet,
+        bc_cfg: &BcConfig,
+        scfg: SubsumeConfig,
+        seed: u64,
+    ) -> Self {
+        let pos = parallel_map(&train.pos, |i, e| {
+            let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9e37_79b9));
+            build_bottom_clause(db, bias, e, bc_cfg, &mut rng)
+        });
+        let neg = parallel_map(&train.neg, |i, e| {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ 0xdead_beef ^ (i as u64).wrapping_mul(0x9e37_79b9));
+            build_bottom_clause(db, bias, e, bc_cfg, &mut rng).ground
+        });
+        Self {
+            pos,
+            neg,
+            scfg,
+            seed,
+        }
+    }
+
+    /// Subsumption budget in use.
+    pub fn subsume_config(&self) -> &SubsumeConfig {
+        &self.scfg
+    }
+
+    /// Whether `clause` covers positive example `i`.
+    pub fn covers_pos(&self, clause: &Clause, i: usize) -> bool {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ (i as u64) << 1);
+        theta_subsumes(clause, &self.pos[i].ground, &self.scfg, &mut rng)
+    }
+
+    /// Whether `clause` covers negative example `i`.
+    pub fn covers_neg(&self, clause: &Clause, i: usize) -> bool {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xabcd ^ (i as u64) << 1);
+        theta_subsumes(clause, &self.neg[i], &self.scfg, &mut rng)
+    }
+
+    /// Indices among `candidates` of positives covered by `clause` (parallel).
+    pub fn covered_pos_subset(&self, clause: &Clause, candidates: &[usize]) -> Vec<usize> {
+        let hits = parallel_map(candidates, |_, &i| (i, self.covers_pos(clause, i)));
+        hits.into_iter()
+            .filter(|(_, h)| *h)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Number of negatives covered by `clause` (parallel).
+    pub fn count_neg(&self, clause: &Clause) -> usize {
+        let idxs: Vec<usize> = (0..self.neg.len()).collect();
+        parallel_map(&idxs, |_, &i| self.covers_neg(clause, i))
+            .into_iter()
+            .filter(|&b| b)
+            .count()
+    }
+
+    /// The clause score used by generalization: positives covered (among
+    /// `pos_candidates`) minus negatives covered (paper §2.3.2).
+    pub fn score(&self, clause: &Clause, pos_candidates: &[usize]) -> (i64, usize, usize) {
+        let p = self.covered_pos_subset(clause, pos_candidates).len();
+        let n = self.count_neg(clause);
+        (p as i64 - n as i64, p, n)
+    }
+}
+
+/// Maps `f` over `items` with indices, in parallel when the collection is
+/// large enough to amortize thread spawn cost.
+pub(crate) fn parallel_map<T: Sync, U: Send>(
+    items: &[T],
+    f: impl Fn(usize, &T) -> U + Sync,
+) -> Vec<U> {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8);
+    if threads <= 1 || items.len() < 16 {
+        return items.iter().enumerate().map(|(i, e)| f(i, e)).collect();
+    }
+    let chunk = items.len().div_ceil(threads);
+    let mut out: Vec<Option<U>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    crossbeam::thread::scope(|s| {
+        for (ti, (items_chunk, out_chunk)) in
+            items.chunks(chunk).zip(out.chunks_mut(chunk)).enumerate()
+        {
+            let f = &f;
+            s.spawn(move |_| {
+                for (j, (item, slot)) in items_chunk.iter().zip(out_chunk.iter_mut()).enumerate() {
+                    *slot = Some(f(ti * chunk + j, item));
+                }
+            });
+        }
+    })
+    .expect("coverage worker panicked");
+    out.into_iter().map(|o| o.expect("slot filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bias::parse::parse_bias;
+    use crate::bottom::SamplingStrategy;
+    use crate::example::Example;
+    use relstore::fixtures::uw_fragment;
+
+    fn engine() -> (Database, CoverageEngine, LanguageBias) {
+        let mut db = uw_fragment();
+        let target = db.add_relation("advisedBy", &["stud", "prof"]);
+        let juan = db.intern("juan");
+        let sarita = db.intern("sarita");
+        let john = db.intern("john");
+        let mary = db.intern("mary");
+        db.build_indexes();
+        let bias = parse_bias(
+            &db,
+            target,
+            "
+pred student(T1)
+pred inPhase(T1, T2)
+pred professor(T3)
+pred hasPosition(T3, T4)
+pred publication(T5, T1)
+pred publication(T5, T3)
+pred advisedBy(T1, T3)
+mode student(+)
+mode inPhase(+, -)
+mode professor(+)
+mode hasPosition(+, -)
+mode publication(-, +)
+",
+        )
+        .unwrap();
+        let train = TrainingSet::new(
+            vec![
+                Example::new(target, vec![juan, sarita]),
+                Example::new(target, vec![john, mary]),
+            ],
+            vec![
+                Example::new(target, vec![juan, mary]),
+                Example::new(target, vec![john, sarita]),
+            ],
+        );
+        let cfg = BcConfig {
+            depth: 2,
+            strategy: SamplingStrategy::Full,
+            max_body_literals: 100_000,
+            max_tuples: 1000,
+        };
+        let eng = CoverageEngine::build(&db, &bias, &train, &cfg, SubsumeConfig::default(), 1);
+        (db, eng, bias)
+    }
+
+    #[test]
+    fn bottom_clause_covers_its_own_example() {
+        let (_, eng, _) = engine();
+        for i in 0..eng.pos.len() {
+            let clause = eng.pos[i].clause.clone();
+            assert!(eng.covers_pos(&clause, i), "BC must cover its example");
+        }
+    }
+
+    #[test]
+    fn coauthor_clause_separates_pos_from_neg() {
+        // advisedBy(x,y) ← publication(z,x), publication(z,y):
+        // true for (juan,sarita) and (john,mary); false for crossed pairs.
+        let (db, eng, _) = engine();
+        use crate::clause::{Literal, Term, VarId};
+        let publ = db.rel_id("publication").unwrap();
+        let adv = db.rel_id("advisedBy").unwrap();
+        let v = |n| Term::Var(VarId(n));
+        let clause = Clause::new(
+            Literal::new(adv, vec![v(0), v(1)]),
+            vec![
+                Literal::new(publ, vec![v(2), v(0)]),
+                Literal::new(publ, vec![v(2), v(1)]),
+            ],
+        );
+        assert_eq!(eng.covered_pos_subset(&clause, &[0, 1]), vec![0, 1]);
+        assert_eq!(eng.count_neg(&clause), 0);
+        assert_eq!(eng.score(&clause, &[0, 1]), (2, 2, 0));
+    }
+
+    #[test]
+    fn overly_general_clause_covers_everything() {
+        let (db, eng, _) = engine();
+        use crate::clause::{Literal, Term, VarId};
+        let adv = db.rel_id("advisedBy").unwrap();
+        let v = |n| Term::Var(VarId(n));
+        let clause = Clause::new(Literal::new(adv, vec![v(0), v(1)]), vec![]);
+        assert_eq!(eng.covered_pos_subset(&clause, &[0, 1]).len(), 2);
+        assert_eq!(eng.count_neg(&clause), 2);
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(&items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+}

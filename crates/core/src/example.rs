@@ -1,0 +1,85 @@
+//! Training examples: ground facts of the target relation, labeled
+//! positive or negative.
+
+use relstore::{Const, Database, RelId};
+
+/// One ground example of the target relation, e.g. `advisedBy(juan, sarita)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Example {
+    /// The target relation.
+    pub rel: RelId,
+    /// The example's constants, one per target attribute.
+    pub args: Box<[Const]>,
+}
+
+impl Example {
+    /// Creates an example.
+    pub fn new(rel: RelId, args: impl Into<Box<[Const]>>) -> Self {
+        Self {
+            rel,
+            args: args.into(),
+        }
+    }
+
+    /// Creates an example by interning the given strings.
+    pub fn from_strs(db: &mut Database, rel: RelId, args: &[&str]) -> Self {
+        let consts: Box<[Const]> = args.iter().map(|a| db.intern(a)).collect();
+        Self { rel, args: consts }
+    }
+
+    /// Renders with constant names, e.g. `advisedBy(juan, sarita)`.
+    pub fn render(&self, db: &Database) -> String {
+        db.render_tuple(self.rel, &self.args)
+    }
+}
+
+/// Positive and negative examples of one target relation.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingSet {
+    /// Positive examples `E+`.
+    pub pos: Vec<Example>,
+    /// Negative examples `E−`.
+    pub neg: Vec<Example>,
+}
+
+impl TrainingSet {
+    /// Creates a training set.
+    pub fn new(pos: Vec<Example>, neg: Vec<Example>) -> Self {
+        Self { pos, neg }
+    }
+
+    /// Total number of examples.
+    pub fn len(&self) -> usize {
+        self.pos.len() + self.neg.len()
+    }
+
+    /// Whether there are no examples at all.
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty() && self.neg.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_render() {
+        let mut db = Database::new();
+        let adv = db.add_relation("advisedBy", &["stud", "prof"]);
+        let e = Example::from_strs(&mut db, adv, &["juan", "sarita"]);
+        assert_eq!(e.render(&db), "advisedBy(juan, sarita)");
+        assert_eq!(e.args.len(), 2);
+    }
+
+    #[test]
+    fn training_set_counts() {
+        let mut db = Database::new();
+        let adv = db.add_relation("t", &["a"]);
+        let e1 = Example::from_strs(&mut db, adv, &["x"]);
+        let e2 = Example::from_strs(&mut db, adv, &["y"]);
+        let ts = TrainingSet::new(vec![e1], vec![e2]);
+        assert_eq!(ts.len(), 2);
+        assert!(!ts.is_empty());
+    }
+}

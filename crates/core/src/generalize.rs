@@ -1,0 +1,414 @@
+//! Generalization (paper §2.3.2): the **armg** operator (asymmetric relative
+//! minimal generalization) and the beam search that applies it.
+//!
+//! Given a bottom clause `C` and a positive example `e'` it does not cover,
+//! armg repeatedly finds the *blocking atom* — the least `i` such that the
+//! prefix clause `T ← L1, …, Li` does not cover `e'` — drops it, prunes
+//! literals that lost head-connectivity, and repeats until `e'` is covered.
+//! Each step strictly shrinks the clause, so termination is guaranteed.
+
+use crate::clause::Clause;
+use crate::coverage::CoverageEngine;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Beam-search configuration for `LearnClause`.
+#[derive(Debug, Clone, Copy)]
+pub struct GenConfig {
+    /// Clauses kept per beam iteration.
+    pub beam_width: usize,
+    /// Positive examples sampled per iteration to drive armg (the paper's
+    /// `E+_S`).
+    pub sample_size: usize,
+    /// Maximum beam iterations (the search also stops when the score stops
+    /// improving).
+    pub max_iterations: usize,
+    /// Optional wall-clock deadline; the beam search returns its best
+    /// clause so far once passed (set by the covering loop from
+    /// `LearnerConfig::time_budget` — without it a single beam iteration
+    /// over an unrestricted Castor-style bottom clause can run for hours,
+    /// the very pathology the paper reports as `>10h`).
+    pub deadline: Option<std::time::Instant>,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            beam_width: 3,
+            sample_size: 10,
+            max_iterations: 10,
+            deadline: None,
+        }
+    }
+}
+
+/// Finds the blocking atom for `clause` w.r.t. positive example `pos_idx`:
+/// the least prefix length `i` (1-based literal index) whose prefix clause
+/// fails to cover the example. Returns `None` when the full clause covers it.
+///
+/// Prefix coverage is antitone in the prefix length (literals only constrain),
+/// so a binary search over prefix lengths finds the blocking atom with
+/// `O(log n)` subsumption tests.
+pub fn blocking_atom(clause: &Clause, engine: &CoverageEngine, pos_idx: usize) -> Option<usize> {
+    let prefix_covers = |len: usize| {
+        let prefix = Clause::new(clause.head.clone(), clause.body[..len].to_vec());
+        engine.covers_pos(&prefix, pos_idx)
+    };
+    if prefix_covers(clause.body.len()) {
+        return None;
+    }
+    // Invariant: prefix of length `lo` covers, prefix of length `hi` does not.
+    let mut lo = 0usize;
+    let mut hi = clause.body.len();
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if prefix_covers(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi - 1) // zero-based index of the blocking literal
+}
+
+/// Linear-scan variant of [`blocking_atom`], kept for the `generalization`
+/// bench's ablation: the binary search does `O(log n)` coverage tests per
+/// removal, the scan does `O(n)`.
+pub fn blocking_atom_linear(
+    clause: &Clause,
+    engine: &CoverageEngine,
+    pos_idx: usize,
+) -> Option<usize> {
+    for len in 1..=clause.body.len() {
+        let prefix = Clause::new(clause.head.clone(), clause.body[..len].to_vec());
+        if !engine.covers_pos(&prefix, pos_idx) {
+            return Some(len - 1);
+        }
+    }
+    None
+}
+
+/// Applies armg: generalizes `clause` until it covers positive `pos_idx`.
+/// Returns `None` if generalization degenerates to an empty body (the clause
+/// would cover everything — never useful as a candidate).
+pub fn armg(clause: &Clause, engine: &CoverageEngine, pos_idx: usize) -> Option<Clause> {
+    let mut current = clause.clone();
+    while let Some(block) = blocking_atom(&current, engine, pos_idx) {
+        current.body.remove(block);
+        current.prune_unconnected();
+        if current.body.is_empty() {
+            return None;
+        }
+    }
+    Some(current)
+}
+
+/// Post-processing: greedy backward literal elimination. Drops a body
+/// literal when the clause still covers exactly the same positives and no
+/// additional negatives — removing only *redundant* literals (the trivially
+/// satisfiable ones armg's head-connectivity rule keeps around), so the
+/// clause's training behaviour is unchanged but it reads like the paper's
+/// example clauses.
+///
+/// Cost: one coverage evaluation per body literal.
+pub fn reduce_clause(clause: &Clause, engine: &CoverageEngine) -> Clause {
+    let all_pos: Vec<usize> = (0..engine.pos.len()).collect();
+    let base_pos = engine.covered_pos_subset(clause, &all_pos);
+    let base_neg = engine.count_neg(clause);
+    let mut current = clause.clone();
+    let mut i = current.body.len();
+    while i > 0 {
+        i -= 1;
+        if current.body.len() <= 1 {
+            break;
+        }
+        let mut candidate = current.clone();
+        candidate.body.remove(i);
+        candidate.prune_unconnected();
+        if candidate.body.is_empty() {
+            continue;
+        }
+        // Removal can only generalize: keeping the drop is sound whenever it
+        // loses no positives (it cannot) and gains no negatives.
+        let p = engine.covered_pos_subset(&candidate, &all_pos);
+        if p.len() >= base_pos.len() && engine.count_neg(&candidate) <= base_neg {
+            i = i.min(candidate.body.len());
+            current = candidate;
+        }
+    }
+    current
+}
+
+/// Statistics of one `LearnClause` invocation.
+#[derive(Debug, Clone, Default)]
+pub struct LearnClauseStats {
+    /// Beam iterations executed.
+    pub iterations: usize,
+    /// armg applications.
+    pub armg_calls: usize,
+    /// Candidates scored.
+    pub candidates_scored: usize,
+}
+
+/// The `LearnClause` step of Algorithm 1: builds candidates from the seed's
+/// bottom clause by beam search over armg generalizations, scoring each by
+/// positives-covered − negatives-covered over `uncovered` ∪ negatives.
+///
+/// `seed` indexes into `engine.pos`; `uncovered` are the positive indices not
+/// yet covered by the definition under construction.
+pub fn learn_clause<R: Rng>(
+    engine: &CoverageEngine,
+    seed: usize,
+    uncovered: &[usize],
+    cfg: &GenConfig,
+    rng: &mut R,
+) -> (Clause, LearnClauseStats) {
+    let mut stats = LearnClauseStats::default();
+    let bottom = engine.pos[seed].clause.clone();
+
+    let score_of = |c: &Clause, stats: &mut LearnClauseStats| {
+        stats.candidates_scored += 1;
+        engine.score(c, uncovered).0
+    };
+
+    let mut best = bottom.clone();
+    let mut best_score = score_of(&bottom, &mut stats);
+    let mut beam: Vec<(Clause, i64)> = vec![(bottom, best_score)];
+
+    for _ in 0..cfg.max_iterations {
+        stats.iterations += 1;
+        // Sample E+_S from the uncovered positives.
+        let mut sample: Vec<usize> = uncovered.to_vec();
+        sample.shuffle(rng);
+        sample.truncate(cfg.sample_size);
+
+        let past_deadline =
+            || cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d);
+        let mut raw: Vec<Clause> = Vec::new();
+        'gen: for (clause, _) in &beam {
+            for &e in &sample {
+                if past_deadline() {
+                    break 'gen;
+                }
+                if engine.covers_pos(clause, e) {
+                    continue; // already covered: armg would be a no-op
+                }
+                stats.armg_calls += 1;
+                if let Some(generalized) = armg(clause, engine, e) {
+                    raw.push(generalized);
+                }
+            }
+        }
+        // Distinct armg results often coincide; score each once.
+        let mut seen = relstore::FxHashSet::default();
+        let mut unique: Vec<Clause> = Vec::new();
+        for mut c in raw {
+            c.canonicalize_vars();
+            if seen.insert(format!("{:?}", (&c.head, &c.body))) {
+                unique.push(c);
+            }
+        }
+        if unique.is_empty() {
+            break;
+        }
+
+        // Scoring with sound pruning: score = p − n ≤ p, so once a
+        // candidate's positive coverage cannot beat the beam's k-th best
+        // full score, negative counting (the expensive half over every
+        // negative example) is skipped.
+        let mut with_p: Vec<(Clause, usize)> = unique
+            .into_iter()
+            .map(|c| {
+                let p = engine.covered_pos_subset(&c, uncovered).len();
+                (c, p)
+            })
+            .collect();
+        with_p.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.len().cmp(&b.0.len())));
+
+        let mut candidates: Vec<(Clause, i64)> = Vec::new();
+        for (c, p) in with_p {
+            if past_deadline() && !candidates.is_empty() {
+                break;
+            }
+            let kth_best = if candidates.len() >= cfg.beam_width {
+                Some(candidates[cfg.beam_width - 1].1)
+            } else {
+                None
+            };
+            if let Some(kth) = kth_best {
+                if (p as i64) <= kth {
+                    break; // p is an upper bound on the score: prune the rest
+                }
+            }
+            stats.candidates_scored += 1;
+            let n = engine.count_neg(&c);
+            let s = p as i64 - n as i64;
+            candidates.push((c, s));
+            candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.len().cmp(&b.0.len())));
+        }
+        candidates.truncate(cfg.beam_width);
+
+        let round_best = candidates[0].1;
+        if round_best > best_score {
+            best_score = round_best;
+            best = candidates[0].0.clone();
+            beam = candidates;
+        } else {
+            break; // no improvement: stop (paper: "iterates until the
+                   // clauses cannot be improved")
+        }
+        if past_deadline() {
+            break;
+        }
+    }
+
+    (best, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bias::parse::parse_bias;
+    use crate::bottom::{BcConfig, SamplingStrategy};
+    use crate::example::{Example, TrainingSet};
+    use crate::subsume::SubsumeConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use relstore::Database;
+
+    /// A small UW-like database where the true rule is co-authorship:
+    /// advisedBy(s, p) iff s and p share a publication. Extra noise tuples
+    /// (phases, positions) make the bottom clauses over-specific so armg has
+    /// real work to do.
+    fn build_world() -> (Database, TrainingSet, crate::bias::LanguageBias) {
+        let mut db = Database::new();
+        let student = db.add_relation("student", &["stud"]);
+        let professor = db.add_relation("professor", &["prof"]);
+        let in_phase = db.add_relation("inPhase", &["stud", "phase"]);
+        let publ = db.add_relation("publication", &["title", "person"]);
+        let target = db.add_relation("advisedBy", &["stud", "prof"]);
+
+        let phases = ["pre_quals", "post_quals", "post_generals"];
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for i in 0..6 {
+            let s = format!("s{i}");
+            let p = format!("f{i}");
+            db.insert(student, &[&s]);
+            db.insert(professor, &[&p]);
+            db.insert(in_phase, &[&s, phases[i % 3]]);
+            // Student i co-authors with professor i.
+            let t = format!("paper{i}");
+            db.insert(publ, &[&t, &s]);
+            db.insert(publ, &[&t, &p]);
+        }
+        for i in 0..6 {
+            let s = db.lookup(&format!("s{i}")).unwrap();
+            let p = db.lookup(&format!("f{i}")).unwrap();
+            let p_other = db.lookup(&format!("f{}", (i + 1) % 6)).unwrap();
+            pos.push(Example::new(target, vec![s, p]));
+            neg.push(Example::new(target, vec![s, p_other]));
+        }
+        db.build_indexes();
+        let bias = parse_bias(
+            &db,
+            target,
+            "
+pred student(T1)
+pred professor(T3)
+pred inPhase(T1, T2)
+pred publication(T5, T1)
+pred publication(T5, T3)
+pred advisedBy(T1, T3)
+mode student(+)
+mode professor(+)
+mode inPhase(+, -)
+mode inPhase(+, #)
+mode publication(-, +)
+",
+        )
+        .unwrap();
+        (db, TrainingSet::new(pos, neg), bias)
+    }
+
+    fn build_engine(
+        db: &Database,
+        train: &TrainingSet,
+        bias: &crate::bias::LanguageBias,
+    ) -> CoverageEngine {
+        let cfg = BcConfig {
+            depth: 2,
+            strategy: SamplingStrategy::Full,
+            max_body_literals: 100_000,
+            max_tuples: 1000,
+        };
+        CoverageEngine::build(db, bias, train, &cfg, SubsumeConfig::default(), 11)
+    }
+
+    #[test]
+    fn armg_generalizes_bc_to_cover_other_positive() {
+        let (db, train, bias) = build_world();
+        let engine = build_engine(&db, &train, &bias);
+        let bc = engine.pos[0].clause.clone();
+        // The seed's BC mentions s0's phase constant, so it cannot cover
+        // s1 (different phase).
+        assert!(!engine.covers_pos(&bc, 1));
+        let g = armg(&bc, &engine, 1).expect("generalization must succeed");
+        assert!(
+            engine.covers_pos(&g, 1),
+            "armg result must cover the target"
+        );
+        assert!(engine.covers_pos(&g, 0), "armg must stay a generalization");
+        assert!(g.len() < bc.len(), "armg strictly shrinks the clause");
+    }
+
+    #[test]
+    fn blocking_atom_is_minimal() {
+        let (db, train, bias) = build_world();
+        let engine = build_engine(&db, &train, &bias);
+        let bc = engine.pos[0].clause.clone();
+        if let Some(i) = blocking_atom(&bc, &engine, 1) {
+            // Prefix up to (but excluding) i covers; including i does not.
+            let before = Clause::new(bc.head.clone(), bc.body[..i].to_vec());
+            let with = Clause::new(bc.head.clone(), bc.body[..=i].to_vec());
+            assert!(engine.covers_pos(&before, 1));
+            assert!(!engine.covers_pos(&with, 1));
+        } else {
+            panic!("expected a blocking atom");
+        }
+    }
+
+    #[test]
+    fn armg_none_when_covered() {
+        let (db, train, bias) = build_world();
+        let engine = build_engine(&db, &train, &bias);
+        let bc = engine.pos[0].clause.clone();
+        assert!(blocking_atom(&bc, &engine, 0).is_none());
+        // armg on an already-covered example returns the clause unchanged.
+        let same = armg(&bc, &engine, 0).unwrap();
+        assert_eq!(same, bc);
+    }
+
+    #[test]
+    fn learn_clause_finds_coauthorship() {
+        let (db, train, bias) = build_world();
+        let engine = build_engine(&db, &train, &bias);
+        let uncovered: Vec<usize> = (0..train.pos.len()).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (clause, stats) = learn_clause(&engine, 0, &uncovered, &GenConfig::default(), &mut rng);
+        let (_, p, n) = engine.score(&clause, &uncovered);
+        assert_eq!(
+            p,
+            6,
+            "clause should cover all positives: {}",
+            clause.render(&db)
+        );
+        assert_eq!(
+            n,
+            0,
+            "clause should cover no negatives: {}",
+            clause.render(&db)
+        );
+        assert!(stats.armg_calls > 0);
+    }
+}

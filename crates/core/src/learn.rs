@@ -1,0 +1,483 @@
+//! The sequential covering learner (paper Algorithm 1) and the `Learner`
+//! facade tying together bias, BC construction, coverage, and generalization.
+
+use crate::bias::LanguageBias;
+use crate::bottom::BcConfig;
+use crate::clause::{Clause, Definition};
+use crate::coverage::CoverageEngine;
+use crate::example::TrainingSet;
+use crate::generalize::{learn_clause, GenConfig};
+use crate::subsume::SubsumeConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use relstore::Database;
+use std::time::{Duration, Instant};
+
+/// The minimum criterion a clause must satisfy to enter the definition
+/// (Algorithm 1, line 5).
+#[derive(Debug, Clone, Copy)]
+pub struct MinCriterion {
+    /// Minimum training precision `p/(p+n)` of the clause.
+    pub min_precision: f64,
+    /// Minimum number of *new* positives the clause must cover.
+    pub min_pos_covered: usize,
+}
+
+impl Default for MinCriterion {
+    fn default() -> Self {
+        Self {
+            min_precision: 0.6,
+            min_pos_covered: 1,
+        }
+    }
+}
+
+/// Full learner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct LearnerConfig {
+    /// Bottom-clause construction settings (depth, sampling).
+    pub bc: BcConfig,
+    /// Subsumption search budget.
+    pub subsume: SubsumeConfig,
+    /// Beam-search settings.
+    pub gen: GenConfig,
+    /// Clause acceptance criterion.
+    pub min: MinCriterion,
+    /// Hard cap on clauses in the learned definition (guards the covering
+    /// loop against pathological data).
+    pub max_clauses: usize,
+    /// RNG seed; every run with the same seed, data, and bias is
+    /// reproducible.
+    pub seed: u64,
+    /// Optional wall-clock budget for one `learn` call. When exceeded, the
+    /// covering loop stops and returns the definition learned so far — the
+    /// reproduction of the paper's "killed after >10h" Castor rows.
+    pub time_budget: Option<Duration>,
+    /// Post-process each accepted clause with greedy backward literal
+    /// elimination ([`crate::generalize::reduce_clause`]): same training
+    /// coverage, far more readable clauses. Off by default to keep timing
+    /// comparable with the paper's pipeline.
+    pub reduce_clauses: bool,
+}
+
+impl Default for LearnerConfig {
+    fn default() -> Self {
+        Self {
+            bc: BcConfig::default(),
+            subsume: SubsumeConfig::default(),
+            gen: GenConfig::default(),
+            min: MinCriterion::default(),
+            max_clauses: 20,
+            seed: 0xC0FFEE,
+            time_budget: None,
+            reduce_clauses: false,
+        }
+    }
+}
+
+/// Statistics of one learning run.
+#[derive(Debug, Clone, Default)]
+pub struct LearnStats {
+    /// Wall-clock time building ground bottom clauses.
+    pub bc_time: Duration,
+    /// Wall-clock time in the covering loop (generalization + scoring).
+    pub search_time: Duration,
+    /// Positives left uncovered when the loop stopped.
+    pub uncovered_pos: usize,
+    /// Whether the time budget expired before the loop finished.
+    pub timed_out: bool,
+    /// Clauses proposed by `LearnClause` that failed the minimum criterion.
+    pub rejected_clauses: usize,
+    /// Total ground-BC literals built (a proxy for sampling effort).
+    pub ground_literals: usize,
+}
+
+/// The sequential covering learner.
+#[derive(Debug, Clone, Default)]
+pub struct Learner {
+    /// Configuration used by [`Learner::learn`].
+    pub cfg: LearnerConfig,
+}
+
+impl Learner {
+    /// Creates a learner with the given configuration.
+    pub fn new(cfg: LearnerConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// Learns a Horn definition for the bias's target relation from the
+    /// training set (Algorithm 1).
+    pub fn learn(
+        &self,
+        db: &Database,
+        bias: &LanguageBias,
+        train: &TrainingSet,
+    ) -> (Definition, LearnStats) {
+        let mut stats = LearnStats::default();
+        let t0 = Instant::now();
+        let engine = CoverageEngine::build(
+            db,
+            bias,
+            train,
+            &self.cfg.bc,
+            self.cfg.subsume,
+            self.cfg.seed,
+        );
+        stats.bc_time = t0.elapsed();
+        stats.ground_literals = engine.pos.iter().map(|b| b.ground.len()).sum::<usize>()
+            + engine.neg.iter().map(|g| g.len()).sum::<usize>();
+
+        let t1 = Instant::now();
+        let deadline = self.cfg.time_budget.map(|b| t0 + b);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut uncovered: Vec<usize> = (0..train.pos.len()).collect();
+        let mut definition = Definition::new();
+
+        while !uncovered.is_empty() && definition.len() < self.cfg.max_clauses {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    stats.timed_out = true;
+                    break;
+                }
+            }
+            let seed_example = uncovered[0];
+            let mut gen_cfg = self.cfg.gen;
+            gen_cfg.deadline = deadline;
+            let (clause, _cstats) =
+                learn_clause(&engine, seed_example, &uncovered, &gen_cfg, &mut rng);
+
+            let covered = engine.covered_pos_subset(&clause, &uncovered);
+            let neg_covered = engine.count_neg(&clause);
+            let precision = if covered.is_empty() {
+                0.0
+            } else {
+                covered.len() as f64 / (covered.len() + neg_covered) as f64
+            };
+
+            let accept = covered.len() >= self.cfg.min.min_pos_covered
+                && precision >= self.cfg.min.min_precision;
+            if !accept {
+                stats.rejected_clauses += 1;
+                // The seed example is unlearnable under the current budget;
+                // drop it so the loop can make progress on the rest.
+                uncovered.remove(0);
+                continue;
+            }
+
+            let covered_set: relstore::FxHashSet<usize> = covered.into_iter().collect();
+            uncovered.retain(|i| !covered_set.contains(i));
+            let mut clause = clause;
+            if self.cfg.reduce_clauses {
+                clause = crate::generalize::reduce_clause(&clause, &engine);
+            }
+            clause.canonicalize_vars();
+            definition.clauses.push(clause);
+        }
+
+        stats.search_time = t1.elapsed();
+        stats.uncovered_pos = uncovered.len();
+        (definition, stats)
+    }
+
+    /// Convenience: learns and also returns whether each training positive /
+    /// negative ends up covered (computed against the training engine).
+    pub fn learn_with_coverage(
+        &self,
+        db: &Database,
+        bias: &LanguageBias,
+        train: &TrainingSet,
+    ) -> (Definition, LearnStats, Vec<bool>, Vec<bool>) {
+        let (def, stats) = self.learn(db, bias, train);
+        let engine = CoverageEngine::build(
+            db,
+            bias,
+            train,
+            &self.cfg.bc,
+            self.cfg.subsume,
+            self.cfg.seed,
+        );
+        let pos_cov = (0..train.pos.len())
+            .map(|i| def.clauses.iter().any(|c| engine.covers_pos(c, i)))
+            .collect();
+        let neg_cov = (0..train.neg.len())
+            .map(|i| def.clauses.iter().any(|c| engine.covers_neg(c, i)))
+            .collect();
+        (def, stats, pos_cov, neg_cov)
+    }
+}
+
+/// Definition-level coverage helper: whether `definition` covers example `i`
+/// of the engine's positives.
+pub fn definition_covers_pos(def: &Definition, engine: &CoverageEngine, i: usize) -> bool {
+    def.clauses.iter().any(|c| engine.covers_pos(c, i))
+}
+
+/// Definition-level coverage helper for negatives.
+pub fn definition_covers_neg(def: &Definition, engine: &CoverageEngine, i: usize) -> bool {
+    def.clauses.iter().any(|c| engine.covers_neg(c, i))
+}
+
+/// Scores a clause for external callers: `(pos_covered, neg_covered)` over
+/// all engine examples.
+pub fn clause_confusion(clause: &Clause, engine: &CoverageEngine) -> (usize, usize) {
+    let all: Vec<usize> = (0..engine.pos.len()).collect();
+    let p = engine.covered_pos_subset(clause, &all).len();
+    let n = engine.count_neg(clause);
+    (p, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bias::parse::parse_bias;
+    use crate::bottom::SamplingStrategy;
+    use crate::example::Example;
+    use relstore::Database;
+
+    /// World with a two-rule target: advisedBy(s,p) holds iff s,p co-author
+    /// OR s TAs a course p teaches. Tests that sequential covering finds
+    /// multiple clauses.
+    fn two_rule_world() -> (Database, TrainingSet, LanguageBias) {
+        let mut db = Database::new();
+        let student = db.add_relation("student", &["stud"]);
+        let professor = db.add_relation("professor", &["prof"]);
+        let publ = db.add_relation("publication", &["title", "person"]);
+        let ta = db.add_relation("ta", &["course", "stud"]);
+        let taught = db.add_relation("taughtBy", &["course", "prof"]);
+        let target = db.add_relation("advisedBy", &["stud", "prof"]);
+
+        let mut pos = Vec::new();
+        let mut neg = Vec::new();
+        for i in 0..8 {
+            let s = format!("s{i}");
+            let p = format!("f{i}");
+            db.insert(student, &[&s]);
+            db.insert(professor, &[&p]);
+            if i < 4 {
+                // co-authorship advising
+                let t = format!("paper{i}");
+                db.insert(publ, &[&t, &s]);
+                db.insert(publ, &[&t, &p]);
+            } else {
+                // TAship advising
+                let c = format!("course{i}");
+                db.insert(ta, &[&c, &s]);
+                db.insert(taught, &[&c, &p]);
+            }
+        }
+        for i in 0..8 {
+            let s = db.lookup(&format!("s{i}")).unwrap();
+            let p = db.lookup(&format!("f{i}")).unwrap();
+            let p2 = db.lookup(&format!("f{}", (i + 3) % 8)).unwrap();
+            pos.push(Example::new(target, vec![s, p]));
+            neg.push(Example::new(target, vec![s, p2]));
+        }
+        db.build_indexes();
+        let bias = parse_bias(
+            &db,
+            target,
+            "
+pred student(T1)
+pred professor(T3)
+pred publication(T5, T1)
+pred publication(T5, T3)
+pred ta(T6, T1)
+pred taughtBy(T6, T3)
+pred advisedBy(T1, T3)
+mode student(+)
+mode professor(+)
+mode publication(-, +)
+mode ta(-, +)
+mode ta(+, -)
+mode taughtBy(-, +)
+mode taughtBy(+, -)
+",
+        )
+        .unwrap();
+        (db, TrainingSet::new(pos, neg), bias)
+    }
+
+    #[test]
+    fn covering_learns_both_rules() {
+        let (db, train, bias) = two_rule_world();
+        let cfg = LearnerConfig {
+            bc: BcConfig {
+                depth: 2,
+                strategy: SamplingStrategy::Full,
+                max_body_literals: 100_000,
+                max_tuples: 2000,
+            },
+            ..LearnerConfig::default()
+        };
+        let (def, stats, pos_cov, neg_cov) =
+            Learner::new(cfg).learn_with_coverage(&db, &bias, &train);
+        assert!(
+            def.len() >= 2,
+            "expected ≥2 clauses, got:\n{}",
+            def.render(&db)
+        );
+        assert!(pos_cov.iter().all(|&c| c), "all positives covered");
+        assert!(neg_cov.iter().all(|&c| !c), "no negatives covered");
+        assert_eq!(stats.uncovered_pos, 0);
+    }
+
+    #[test]
+    fn unlearnable_seed_is_skipped_not_looped() {
+        // A positive example with constants appearing nowhere in the data
+        // yields an empty BC; the learner must skip it and terminate.
+        let (mut db, mut train, _) = two_rule_world();
+        let ghost_a = db.intern("ghost_a");
+        let ghost_b = db.intern("ghost_b");
+        let target = db.rel_id("advisedBy").unwrap();
+        train
+            .pos
+            .insert(0, Example::new(target, vec![ghost_a, ghost_b]));
+        db.build_indexes();
+        let bias = parse_bias(
+            &db,
+            target,
+            "
+pred student(T1)
+pred professor(T3)
+pred publication(T5, T1)
+pred publication(T5, T3)
+pred ta(T6, T1)
+pred taughtBy(T6, T3)
+pred advisedBy(T1, T3)
+mode publication(-, +)
+mode ta(-, +)
+mode taughtBy(-, +)
+mode ta(+, -)
+mode taughtBy(+, -)
+",
+        )
+        .unwrap();
+        let cfg = LearnerConfig {
+            bc: BcConfig {
+                depth: 2,
+                strategy: SamplingStrategy::Full,
+                max_body_literals: 100_000,
+                max_tuples: 2000,
+            },
+            ..LearnerConfig::default()
+        };
+        let (def, stats) = Learner::new(cfg).learn(&db, &bias, &train);
+        assert!(stats.rejected_clauses >= 1 || stats.uncovered_pos >= 1);
+        assert!(!def.is_empty(), "the real examples are still learnable");
+    }
+
+    #[test]
+    fn empty_training_set_returns_empty_definition() {
+        let (db, _, bias) = two_rule_world();
+        let train = TrainingSet::default();
+        let (def, stats) = Learner::default().learn(&db, &bias, &train);
+        assert!(def.is_empty());
+        assert_eq!(stats.uncovered_pos, 0);
+    }
+
+    #[test]
+    fn max_clauses_caps_definition() {
+        let (db, train, bias) = two_rule_world();
+        let cfg = LearnerConfig {
+            bc: BcConfig {
+                depth: 2,
+                strategy: SamplingStrategy::Full,
+                max_body_literals: 100_000,
+                max_tuples: 2000,
+            },
+            max_clauses: 1,
+            ..LearnerConfig::default()
+        };
+        let (def, _) = Learner::new(cfg).learn(&db, &bias, &train);
+        assert_eq!(def.len(), 1);
+    }
+
+    #[test]
+    fn reduction_shrinks_clauses_without_changing_coverage() {
+        let (db, train, bias) = two_rule_world();
+        let base_cfg = LearnerConfig {
+            bc: BcConfig {
+                depth: 2,
+                strategy: SamplingStrategy::Full,
+                max_body_literals: 100_000,
+                max_tuples: 2000,
+            },
+            ..LearnerConfig::default()
+        };
+        let reduced_cfg = LearnerConfig {
+            reduce_clauses: true,
+            ..base_cfg
+        };
+        let (plain, _, p_pos, p_neg) =
+            Learner::new(base_cfg).learn_with_coverage(&db, &bias, &train);
+        let (reduced, _, r_pos, r_neg) =
+            Learner::new(reduced_cfg).learn_with_coverage(&db, &bias, &train);
+        assert!(
+            reduced.total_literals() < plain.total_literals(),
+            "reduced {} vs plain {}:\n{}",
+            reduced.total_literals(),
+            plain.total_literals(),
+            reduced.render(&db)
+        );
+        assert_eq!(p_pos, r_pos, "positive coverage unchanged");
+        assert_eq!(p_neg, r_neg, "negative coverage unchanged");
+    }
+
+    #[test]
+    fn learning_is_deterministic_for_fixed_seed() {
+        let (db, train, bias) = two_rule_world();
+        let cfg = LearnerConfig {
+            bc: BcConfig {
+                depth: 2,
+                strategy: SamplingStrategy::Naive { per_selection: 5 },
+                max_body_literals: 100_000,
+                max_tuples: 2000,
+            },
+            seed: 99,
+            ..LearnerConfig::default()
+        };
+        let (d1, _) = Learner::new(cfg).learn(&db, &bias, &train);
+        let (d2, _) = Learner::new(cfg).learn(&db, &bias, &train);
+        assert_eq!(d1, d2);
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::bias::parse::parse_bias;
+    use crate::example::Example;
+    use relstore::Database;
+
+    /// The learner's time budget interrupts the covering loop and reports it.
+    #[test]
+    fn time_budget_is_honoured() {
+        let mut db = Database::new();
+        let r = db.add_relation("r", &["a", "b"]);
+        let target = db.add_relation("t", &["a"]);
+        let mut pos = Vec::new();
+        for i in 0..30 {
+            db.insert(r, &[&format!("x{i}"), &format!("x{}", (i + 1) % 30)]);
+            let c = db.lookup(&format!("x{i}")).unwrap();
+            pos.push(Example::new(target, vec![c]));
+        }
+        db.build_indexes();
+        let bias = parse_bias(
+            &db,
+            target,
+            "
+pred r(TA, TA)
+pred t(TA)
+mode r(+, -)
+mode r(-, +)
+",
+        )
+        .unwrap();
+        let cfg = LearnerConfig {
+            time_budget: Some(Duration::from_nanos(1)),
+            ..LearnerConfig::default()
+        };
+        let (_, stats) = Learner::new(cfg).learn(&db, &bias, &TrainingSet::new(pos, vec![]));
+        assert!(stats.timed_out);
+    }
+}

@@ -1,0 +1,691 @@
+//! θ-subsumption for coverage testing (paper §5).
+//!
+//! Clause `C` θ-subsumes ground clause `G` iff some substitution `θ` maps
+//! every body literal of `C` onto a literal of `G` (with the head binding
+//! fixed by the example). Subsumption is NP-hard; like the paper (which
+//! follows Kuzelka–Zelezny's restarted strategy), we run randomized
+//! backtracking with a node cutoff and a bounded number of restarts, so the
+//! test is *approximate*: it may report "not covered" for a covered example
+//! when the search budget runs out, never the reverse.
+//!
+//! ```
+//! use autobias::bottom::{GroundClause, GroundLiteral};
+//! use autobias::clause::{Clause, Literal, Term, VarId};
+//! use autobias::example::Example;
+//! use autobias::subsume::{theta_subsumes, SubsumeConfig};
+//! use rand::SeedableRng;
+//! use relstore::{Const, RelId};
+//!
+//! // ground BC: head t(1, 2); body r(1, 10), s(10).
+//! let ground = GroundClause::new(
+//!     Example::new(RelId(9), vec![Const(1), Const(2)]),
+//!     vec![
+//!         GroundLiteral { rel: RelId(0), vals: vec![Const(1), Const(10)].into() },
+//!         GroundLiteral { rel: RelId(1), vals: vec![Const(10)].into() },
+//!     ],
+//! );
+//! // clause: t(x, y) ← r(x, z), s(z)
+//! let v = |n| Term::Var(VarId(n));
+//! let clause = Clause::new(
+//!     Literal::new(RelId(9), vec![v(0), v(1)]),
+//!     vec![
+//!         Literal::new(RelId(0), vec![v(0), v(2)]),
+//!         Literal::new(RelId(1), vec![v(2)]),
+//!     ],
+//! );
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! assert!(theta_subsumes(&clause, &ground, &SubsumeConfig::default(), &mut rng));
+//! ```
+
+use crate::bottom::GroundClause;
+use crate::clause::{Clause, Literal, Term, VarId};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use relstore::Const;
+
+/// Search budget for one subsumption test.
+#[derive(Debug, Clone, Copy)]
+pub struct SubsumeConfig {
+    /// Backtracking nodes explored before a restart.
+    pub node_limit: usize,
+    /// Randomized restarts before giving up (answering `false`).
+    pub max_restarts: usize,
+}
+
+impl Default for SubsumeConfig {
+    fn default() -> Self {
+        Self {
+            node_limit: 20_000,
+            max_restarts: 3,
+        }
+    }
+}
+
+/// Whether `clause` θ-subsumes `ground` — i.e. whether the clause covers the
+/// ground BC's example (Definition 2.4 via the §5 reduction).
+pub fn theta_subsumes<R: Rng>(
+    clause: &Clause,
+    ground: &GroundClause,
+    cfg: &SubsumeConfig,
+    rng: &mut R,
+) -> bool {
+    // 1. Head binding: relation and arity must match; head vars bind to the
+    //    example's constants, head constants must equal them.
+    if clause.head.rel != ground.example.rel || clause.head.args.len() != ground.example.args.len()
+    {
+        return false;
+    }
+    let num_vars = clause.num_vars() as usize;
+    let mut binding: Vec<Option<Const>> = vec![None; num_vars];
+    for (term, &c) in clause.head.args.iter().zip(ground.example.args.iter()) {
+        match *term {
+            Term::Var(v) => match binding[v.index()] {
+                None => binding[v.index()] = Some(c),
+                Some(b) if b == c => {}
+                Some(_) => return false,
+            },
+            Term::Const(k) => {
+                if k != c {
+                    return false;
+                }
+            }
+        }
+    }
+
+    if clause.body.is_empty() {
+        return true;
+    }
+
+    // 2. Static candidate lists per body literal: ground literals of the
+    //    same relation whose constant positions (and already-bound head
+    //    variables) match. Computed once; the search only re-filters by
+    //    later variable bindings. An empty static list anywhere refutes the
+    //    clause immediately — the common case for `#`-literals whose
+    //    constant does not occur in this example's neighbourhood.
+    let mut static_cands: Vec<Vec<u32>> = Vec::with_capacity(clause.body.len());
+    for lit in &clause.body {
+        let cands: Vec<u32> = ground
+            .literals_of(lit.rel)
+            .iter()
+            .copied()
+            .filter(|&gi| {
+                let g = &ground.body[gi as usize];
+                lit.args.len() == g.vals.len()
+                    && lit.args.iter().zip(g.vals.iter()).all(|(t, &gv)| match *t {
+                        Term::Const(c) => c == gv,
+                        Term::Var(v) => binding[v.index()].is_none_or(|b| b == gv),
+                    })
+            })
+            .collect();
+        if cands.is_empty() {
+            return false;
+        }
+        static_cands.push(cands);
+    }
+
+    // Var → body literals containing it, for forward-checking updates.
+    let mut lits_by_var: Vec<Vec<u32>> = vec![Vec::new(); num_vars];
+    for (li, lit) in clause.body.iter().enumerate() {
+        for v in lit.vars() {
+            let entry = &mut lits_by_var[v.index()];
+            if entry.last() != Some(&(li as u32)) {
+                entry.push(li as u32);
+            }
+        }
+    }
+
+    // 3. Decompose the body into connected components over *unbound*
+    //    variables (head-bound vars don't link literals — their values are
+    //    fixed). Components share no search state, so each is solved
+    //    independently; bottom clauses carry many trivially satisfiable
+    //    side-literals, and decomposition keeps them from multiplying the
+    //    search space of the part that matters.
+    let mut comp_of: Vec<u32> = (0..clause.body.len() as u32).collect();
+    fn find_root(comp_of: &mut [u32], mut x: u32) -> u32 {
+        while comp_of[x as usize] != x {
+            let parent = comp_of[x as usize];
+            comp_of[x as usize] = comp_of[parent as usize];
+            x = parent;
+        }
+        x
+    }
+    for (v, lits) in lits_by_var.iter().enumerate() {
+        if binding[v].is_some() || lits.len() < 2 {
+            continue;
+        }
+        let first = find_root(&mut comp_of, lits[0]);
+        for &l in &lits[1..] {
+            let r = find_root(&mut comp_of, l);
+            comp_of[r as usize] = first;
+        }
+    }
+    let mut components: relstore::FxHashMap<u32, Vec<usize>> = relstore::FxHashMap::default();
+    for li in 0..clause.body.len() {
+        components
+            .entry(find_root(&mut comp_of, li as u32))
+            .or_default()
+            .push(li);
+    }
+    let mut components: Vec<Vec<usize>> = components.into_values().collect();
+    // Small components first: cheap refutations come earliest.
+    components.sort_by_key(Vec::len);
+
+    let mut search = Search {
+        clause,
+        ground,
+        cfg,
+        static_cands,
+        lits_by_var,
+        active: Vec::new(),
+        nodes: 0,
+    };
+    'component: for comp in components {
+        search.active = comp.clone();
+        for _attempt in 0..=cfg.max_restarts {
+            search.nodes = 0;
+            let mut b = binding.clone();
+            // Literals outside the component are treated as already assigned.
+            let mut assigned = vec![true; clause.body.len()];
+            for &li in &comp {
+                assigned[li] = false;
+            }
+            // counts[li] = current number of consistent candidates; the
+            // static lists already reflect the head binding.
+            let mut counts: Vec<usize> = search.static_cands.iter().map(Vec::len).collect();
+            match search.solve(&mut b, &mut assigned, &mut counts, rng) {
+                Outcome::Found => continue 'component,
+                Outcome::Exhausted => return false, // complete: truly no θ
+                Outcome::Cutoff => continue,        // retry, new random order
+            }
+        }
+        return false; // budget exhausted on this component
+    }
+    true
+}
+
+enum Outcome {
+    Found,
+    Exhausted,
+    Cutoff,
+}
+
+struct Search<'a> {
+    clause: &'a Clause,
+    ground: &'a GroundClause,
+    cfg: &'a SubsumeConfig,
+    /// Per-literal candidates matching relation, constants, and the head
+    /// binding — the search re-filters these by later variable bindings.
+    static_cands: Vec<Vec<u32>>,
+    /// Var index → body literals containing it (forward-checking targets).
+    lits_by_var: Vec<Vec<u32>>,
+    /// Literal indices of the component currently being solved; the MRV
+    /// scan only looks at these.
+    active: Vec<usize>,
+    nodes: usize,
+}
+
+impl Search<'_> {
+    /// Candidates of body literal `li` consistent with `binding`.
+    fn candidates(&self, li: usize, binding: &[Option<Const>]) -> Vec<u32> {
+        let lit = &self.clause.body[li];
+        self.static_cands[li]
+            .iter()
+            .copied()
+            .filter(|&gi| self.matches(lit, gi, binding))
+            .collect()
+    }
+
+    fn count_candidates(&self, li: usize, binding: &[Option<Const>]) -> usize {
+        let lit = &self.clause.body[li];
+        self.static_cands[li]
+            .iter()
+            .filter(|&&gi| self.matches(lit, gi, binding))
+            .count()
+    }
+
+    fn matches(&self, lit: &Literal, gi: u32, binding: &[Option<Const>]) -> bool {
+        let g = &self.ground.body[gi as usize];
+        debug_assert_eq!(lit.args.len(), g.vals.len());
+        lit.args.iter().zip(g.vals.iter()).all(|(t, &gv)| match *t {
+            Term::Const(c) => c == gv,
+            Term::Var(v) => binding[v.index()].is_none_or(|b| b == gv),
+        })
+    }
+
+    fn solve<R: Rng>(
+        &mut self,
+        binding: &mut [Option<Const>],
+        assigned: &mut [bool],
+        counts: &mut [usize],
+        rng: &mut R,
+    ) -> Outcome {
+        self.nodes += 1;
+        if self.nodes > self.cfg.node_limit {
+            return Outcome::Cutoff;
+        }
+        // MRV over maintained counts: integer scan of the active component.
+        let mut best: Option<(usize, usize)> = None;
+        for &li in &self.active {
+            if assigned[li] {
+                continue;
+            }
+            let c = counts[li];
+            if best.is_none_or(|(_, b)| c < b) {
+                best = Some((li, c));
+                if c <= 1 {
+                    break;
+                }
+            }
+        }
+        let Some((li, _)) = best else {
+            return Outcome::Found; // all literals assigned
+        };
+        let mut cands = self.candidates(li, binding);
+        if cands.is_empty() {
+            return Outcome::Exhausted;
+        }
+        cands.shuffle(rng);
+
+        assigned[li] = true;
+        let mut saw_cutoff = false;
+        'cand: for gi in cands {
+            // Extend the binding; remember which vars we set for undo.
+            let mut trail: Vec<VarId> = Vec::new();
+            {
+                let lit = &self.clause.body[li];
+                let g = &self.ground.body[gi as usize];
+                for (t, &gv) in lit.args.iter().zip(g.vals.iter()) {
+                    if let Term::Var(v) = *t {
+                        match binding[v.index()] {
+                            None => {
+                                binding[v.index()] = Some(gv);
+                                trail.push(v);
+                            }
+                            Some(b) if b == gv => {}
+                            Some(_) => {
+                                for v in trail {
+                                    binding[v.index()] = None;
+                                }
+                                continue 'cand;
+                            }
+                        }
+                    }
+                }
+            }
+            // Forward checking: recompute counts only for unassigned
+            // literals touching a newly bound variable.
+            let mut count_trail: Vec<(usize, usize)> = Vec::new();
+            let mut dead_end = false;
+            'fc: for &v in &trail {
+                for &ljr in &self.lits_by_var[v.index()] {
+                    let lj = ljr as usize;
+                    if assigned[lj] || count_trail.iter().any(|&(k, _)| k == lj) {
+                        continue;
+                    }
+                    let new_count = self.count_candidates(lj, binding);
+                    count_trail.push((lj, counts[lj]));
+                    counts[lj] = new_count;
+                    if new_count == 0 {
+                        dead_end = true;
+                        break 'fc;
+                    }
+                }
+            }
+            if !dead_end {
+                match self.solve(binding, assigned, counts, rng) {
+                    Outcome::Found => return Outcome::Found,
+                    Outcome::Cutoff => saw_cutoff = true,
+                    Outcome::Exhausted => {}
+                }
+            }
+            for (lj, old) in count_trail {
+                counts[lj] = old;
+            }
+            for v in trail {
+                binding[v.index()] = None;
+            }
+            if self.nodes > self.cfg.node_limit {
+                assigned[li] = false;
+                return Outcome::Cutoff;
+            }
+        }
+        assigned[li] = false;
+        if saw_cutoff {
+            Outcome::Cutoff
+        } else {
+            Outcome::Exhausted
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bottom::GroundLiteral;
+    use crate::example::Example;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use relstore::RelId;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn v(n: u32) -> Term {
+        Term::Var(VarId(n))
+    }
+
+    fn c(n: u32) -> Const {
+        Const(n)
+    }
+
+    fn glit(rel: u32, vals: &[u32]) -> GroundLiteral {
+        GroundLiteral {
+            rel: RelId(rel),
+            vals: vals.iter().map(|&x| Const(x)).collect(),
+        }
+    }
+
+    /// ground: head t(1,2); body r(1,10), r(10,2), s(10)
+    fn chain_ground() -> GroundClause {
+        GroundClause::new(
+            Example::new(RelId(9), vec![c(1), c(2)]),
+            vec![glit(0, &[1, 10]), glit(0, &[10, 2]), glit(1, &[10])],
+        )
+    }
+
+    #[test]
+    fn subsumes_chain() {
+        // t(x,y) ← r(x,z), r(z,y), s(z)  covers the chain.
+        let clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+                Literal::new(RelId(0), vec![v(2), v(1)]),
+                Literal::new(RelId(1), vec![v(2)]),
+            ],
+        );
+        assert!(theta_subsumes(
+            &clause,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_chain() {
+        // t(x,y) ← r(y,z): requires r starting at 2 — absent.
+        let clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![Literal::new(RelId(0), vec![v(1), v(2)])],
+        );
+        assert!(!theta_subsumes(
+            &clause,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    #[test]
+    fn head_constant_must_match() {
+        let clause_ok = Clause::new(
+            Literal::new(RelId(9), vec![Term::Const(c(1)), v(0)]),
+            vec![],
+        );
+        let clause_bad = Clause::new(
+            Literal::new(RelId(9), vec![Term::Const(c(7)), v(0)]),
+            vec![],
+        );
+        assert!(theta_subsumes(
+            &clause_ok,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+        assert!(!theta_subsumes(
+            &clause_bad,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    #[test]
+    fn repeated_head_var_requires_equal_constants() {
+        // t(x,x) can't cover example t(1,2).
+        let clause = Clause::new(Literal::new(RelId(9), vec![v(0), v(0)]), vec![]);
+        assert!(!theta_subsumes(
+            &clause,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+        // But covers t(1,1).
+        let ground = GroundClause::new(Example::new(RelId(9), vec![c(1), c(1)]), vec![]);
+        assert!(theta_subsumes(
+            &clause,
+            &ground,
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    #[test]
+    fn body_constants_must_match_exactly() {
+        // t(x,y) ← r(x, 10) covers; r(x, 11) does not.
+        let ok = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![Literal::new(RelId(0), vec![v(0), Term::Const(c(10))])],
+        );
+        let bad = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![Literal::new(RelId(0), vec![v(0), Term::Const(c(11))])],
+        );
+        assert!(theta_subsumes(
+            &ok,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+        assert!(!theta_subsumes(
+            &bad,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    #[test]
+    fn non_injective_mappings_are_allowed() {
+        // θ-subsumption permits two clause vars mapping to one constant:
+        // t(x,y) ← r(x,z), r(w,y) with z = w = 10.
+        let clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+                Literal::new(RelId(0), vec![v(3), v(1)]),
+            ],
+        );
+        assert!(theta_subsumes(
+            &clause,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    #[test]
+    fn two_clause_literals_may_map_to_one_ground_literal() {
+        // t(x,y) ← r(x,z), r(x,w): both can map onto r(1,10).
+        let clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+                Literal::new(RelId(0), vec![v(0), v(3)]),
+            ],
+        );
+        assert!(theta_subsumes(
+            &clause,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    #[test]
+    fn wrong_relation_or_arity_in_head_fails_fast() {
+        let clause = Clause::new(Literal::new(RelId(8), vec![v(0), v(1)]), vec![]);
+        assert!(!theta_subsumes(
+            &clause,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+        let clause = Clause::new(Literal::new(RelId(9), vec![v(0)]), vec![]);
+        assert!(!theta_subsumes(
+            &clause,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    #[test]
+    fn empty_body_always_covers_matching_head() {
+        let clause = Clause::new(Literal::new(RelId(9), vec![v(0), v(1)]), vec![]);
+        assert!(theta_subsumes(
+            &clause,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+    }
+
+    /// A complete (non-cutoff) search answers exactly like brute force on a
+    /// moderately tricky instance with multiple candidates per literal.
+    #[test]
+    fn finds_solution_requiring_backtracking() {
+        // ground body: r(1,a) for a in {3,4,5}, s(4).
+        // clause: t(x,y) ← r(x,z), s(z). Only z = 4 works; MRV picks s first,
+        // but with shuffled order the search may try r's candidates first.
+        let ground = GroundClause::new(
+            Example::new(RelId(9), vec![c(1), c(2)]),
+            vec![
+                glit(0, &[1, 3]),
+                glit(0, &[1, 4]),
+                glit(0, &[1, 5]),
+                glit(1, &[4]),
+            ],
+        );
+        let clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+                Literal::new(RelId(1), vec![v(2)]),
+            ],
+        );
+        for seed in 0..20 {
+            let mut r = StdRng::seed_from_u64(seed);
+            assert!(theta_subsumes(
+                &clause,
+                &ground,
+                &SubsumeConfig::default(),
+                &mut r
+            ));
+        }
+    }
+
+    #[test]
+    fn absent_constant_refutes_immediately() {
+        // A `#`-literal whose constant never occurs in the ground BC makes
+        // the static candidate list empty — must answer false without search.
+        let clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![Literal::new(RelId(0), vec![v(0), Term::Const(c(777))])],
+        );
+        let cfg = SubsumeConfig {
+            node_limit: 0, // no search budget at all
+            max_restarts: 0,
+        };
+        assert!(!theta_subsumes(&clause, &chain_ground(), &cfg, &mut rng()));
+    }
+
+    #[test]
+    fn forward_checking_detects_dead_ends() {
+        // r(x,z) with z then required by s(z): binding z to a value with no
+        // s-literal must be pruned by forward checking, still finding the
+        // valid assignment.
+        let ground = GroundClause::new(
+            Example::new(RelId(9), vec![c(1), c(2)]),
+            vec![
+                glit(0, &[1, 3]),
+                glit(0, &[1, 4]),
+                glit(0, &[1, 5]),
+                glit(0, &[1, 6]),
+                glit(1, &[6]),
+            ],
+        );
+        let clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+                Literal::new(RelId(1), vec![v(2)]),
+            ],
+        );
+        for seed in 0..10 {
+            let mut r = StdRng::seed_from_u64(seed);
+            assert!(theta_subsumes(
+                &clause,
+                &ground,
+                &SubsumeConfig::default(),
+                &mut r
+            ));
+        }
+    }
+
+    #[test]
+    fn shared_variable_across_distant_literals() {
+        // The same variable in literals of different relations must stay
+        // consistent through the count-maintenance machinery.
+        let ground = GroundClause::new(
+            Example::new(RelId(9), vec![c(1), c(2)]),
+            vec![glit(0, &[1, 10]), glit(1, &[10]), glit(0, &[1, 11])],
+        );
+        // t(x,y) ← r(x,w), s(w): only w = 10 works.
+        let good = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+                Literal::new(RelId(1), vec![v(2)]),
+            ],
+        );
+        assert!(theta_subsumes(
+            &good,
+            &chain_ground(),
+            &SubsumeConfig::default(),
+            &mut rng()
+        ));
+        let _ = ground;
+    }
+
+    #[test]
+    fn tight_budget_gives_up_not_wrong_answer() {
+        // With a 1-node limit the search must answer false (approximation),
+        // never panic or loop.
+        let clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+                Literal::new(RelId(0), vec![v(2), v(1)]),
+            ],
+        );
+        let cfg = SubsumeConfig {
+            node_limit: 1,
+            max_restarts: 1,
+        };
+        // Either true (found fast) or false (budget) — just must terminate.
+        let _ = theta_subsumes(&clause, &chain_ground(), &cfg, &mut rng());
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests over the dataset generators: invariants that must
+//! hold for any seed and any (small) scale.
+
+use datasets::{flt, hiv, imdb, sys, uw};
+use proptest::prelude::*;
+use relstore::FxHashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// UW: examples are disjoint, counts match the config, and all example
+    /// constants name real students/professors.
+    #[test]
+    fn uw_invariants(seed in 0u64..1000) {
+        let cfg = uw::UwConfig {
+            students: 40,
+            professors: 12,
+            courses: 15,
+            advised_pairs: 25,
+            negatives: 50,
+            ..uw::UwConfig::default()
+        };
+        let d = uw::generate(&cfg, seed);
+        prop_assert!(d.pos.len() <= 25);
+        prop_assert_eq!(d.neg.len(), 50);
+        let pos_set: FxHashSet<_> = d.pos.iter().map(|e| e.args.clone()).collect();
+        for n in &d.neg {
+            prop_assert!(!pos_set.contains(&n.args), "negative equals a positive");
+        }
+        let student = d.db.rel_id("student").unwrap();
+        let professor = d.db.rel_id("professor").unwrap();
+        let studs: FxHashSet<_> = d.db.relation(student).iter().map(|(_, t)| t[0]).collect();
+        let profs: FxHashSet<_> = d.db.relation(professor).iter().map(|(_, t)| t[0]).collect();
+        for e in d.pos.iter().chain(&d.neg) {
+            prop_assert!(studs.contains(&e.args[0]));
+            prop_assert!(profs.contains(&e.args[1]));
+        }
+        // The target relation holds exactly the positives.
+        prop_assert_eq!(d.db.relation(d.target).len(), d.pos.len());
+    }
+
+    /// HIV: every atom/bond/ring row references an existing compound, and
+    /// bond endpoints are atoms of the same compound.
+    #[test]
+    fn hiv_referential_integrity(seed in 0u64..200) {
+        let cfg = hiv::HivConfig {
+            compounds: 40,
+            positives: 10,
+            negatives: 15,
+            ..hiv::HivConfig::default()
+        };
+        let d = hiv::generate(&cfg, seed);
+        let compound = d.db.rel_id("compound").unwrap();
+        let atom = d.db.rel_id("atom").unwrap();
+        let bond = d.db.rel_id("bond").unwrap();
+        let comps: FxHashSet<_> = d.db.relation(compound).iter().map(|(_, t)| t[0]).collect();
+        let mut atoms_of: std::collections::HashMap<_, FxHashSet<_>> = Default::default();
+        for (_, t) in d.db.relation(atom).iter() {
+            prop_assert!(comps.contains(&t[0]), "atom of unknown compound");
+            atoms_of.entry(t[0]).or_default().insert(t[1]);
+        }
+        for (_, t) in d.db.relation(bond).iter() {
+            prop_assert!(comps.contains(&t[0]));
+            let members = &atoms_of[&t[0]];
+            prop_assert!(members.contains(&t[1]) && members.contains(&t[2]),
+                "bond endpoints must be atoms of the same compound");
+        }
+    }
+
+    /// FLT: flights reference known airports; no self-loop flights.
+    #[test]
+    fn flt_referential_integrity(seed in 0u64..200) {
+        let cfg = flt::FltConfig {
+            flights: 300,
+            airports: 25,
+            positives: 15,
+            negatives: 40,
+            ..flt::FltConfig::default()
+        };
+        let d = flt::generate(&cfg, seed);
+        let flight = d.db.rel_id("flight").unwrap();
+        let airport = d.db.rel_id("airport").unwrap();
+        let apts: FxHashSet<_> = d.db.relation(airport).iter().map(|(_, t)| t[0]).collect();
+        for (_, t) in d.db.relation(flight).iter() {
+            prop_assert!(apts.contains(&t[1]) && apts.contains(&t[2]));
+            prop_assert_ne!(t[1], t[2], "no self-loop flights");
+        }
+    }
+
+    /// SYS: class imbalance holds and labels partition the processes.
+    #[test]
+    fn sys_imbalance(seed in 0u64..200) {
+        let cfg = sys::SysConfig {
+            processes: 150,
+            malicious: 12,
+            negatives: 60,
+            ..sys::SysConfig::default()
+        };
+        let d = sys::generate(&cfg, seed);
+        prop_assert_eq!(d.pos.len(), 12);
+        prop_assert_eq!(d.neg.len(), 60);
+        let pos_set: FxHashSet<_> = d.pos.iter().map(|e| e.args[0]).collect();
+        for n in &d.neg {
+            prop_assert!(!pos_set.contains(&n.args[0]));
+        }
+    }
+
+    /// IMDb: every movie has exactly one director and at least one genre.
+    #[test]
+    fn imdb_movie_integrity(seed in 0u64..200) {
+        let cfg = imdb::ImdbConfig {
+            movies: 120,
+            directors: 40,
+            actors: 60,
+            writers: 20,
+            positives: 15,
+            negatives: 30,
+            ..imdb::ImdbConfig::default()
+        };
+        let d = imdb::generate(&cfg, seed);
+        let movie = d.db.rel_id("movie").unwrap();
+        let directed = d.db.rel_id("directedBy").unwrap();
+        let genre = d.db.rel_id("genre").unwrap();
+        let mut director_count: std::collections::HashMap<_, usize> = Default::default();
+        for (_, t) in d.db.relation(directed).iter() {
+            *director_count.entry(t[0]).or_default() += 1;
+        }
+        let genres: FxHashSet<_> = d.db.relation(genre).iter().map(|(_, t)| t[0]).collect();
+        for (_, t) in d.db.relation(movie).iter() {
+            prop_assert_eq!(director_count.get(&t[0]), Some(&1));
+            prop_assert!(genres.contains(&t[0]), "movie without genre");
+        }
+    }
+}

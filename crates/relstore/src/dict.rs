@@ -1,0 +1,131 @@
+//! Value dictionary: interns every constant that appears in a database.
+//!
+//! Relational learning treats attribute values as uninterpreted constants, so
+//! the store maps each distinct string to a dense `Const` id once and works
+//! with ids everywhere. This keeps tuples at 4 bytes per attribute, makes
+//! equality O(1), and lets indexes and samplers hash integers instead of
+//! strings.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// An interned constant. Ids are dense and stable for the lifetime of the
+/// owning [`Dictionary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Const(pub u32);
+
+impl Const {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A bidirectional string ↔ [`Const`] interner.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    by_name: FxHashMap<Box<str>, Const>,
+    names: Vec<Box<str>>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its id; returns the existing id if already present.
+    pub fn intern(&mut self, s: &str) -> Const {
+        if let Some(&c) = self.by_name.get(s) {
+            return c;
+        }
+        let id =
+            Const(u32::try_from(self.names.len()).expect("dictionary overflow: >4G constants"));
+        let boxed: Box<str> = s.into();
+        self.names.push(boxed.clone());
+        self.by_name.insert(boxed, id);
+        id
+    }
+
+    /// Looks up the id for `s` without interning.
+    pub fn lookup(&self, s: &str) -> Option<Const> {
+        self.by_name.get(s).copied()
+    }
+
+    /// Returns the string for `c`.
+    ///
+    /// # Panics
+    /// Panics if `c` was not produced by this dictionary.
+    pub fn name(&self, c: Const) -> &str {
+        &self.names[c.index()]
+    }
+
+    /// Number of interned constants.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no constants have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over all `(Const, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Const, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Const(i as u32), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("juan");
+        let b = d.intern("juan");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        let mut d = Dictionary::new();
+        let a = d.intern("juan");
+        let b = d.intern("sarita");
+        assert_ne!(a, b);
+        assert_eq!(d.name(a), "juan");
+        assert_eq!(d.name(b), "sarita");
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.lookup("absent"), None);
+        assert_eq!(d.len(), 0);
+        let c = d.intern("present");
+        assert_eq!(d.lookup("present"), Some(c));
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut d = Dictionary::new();
+        for i in 0..100 {
+            let c = d.intern(&format!("v{i}"));
+            assert_eq!(c.index(), i);
+        }
+        let collected: Vec<_> = d.iter().map(|(c, _)| c.index()).collect();
+        assert_eq!(collected, (0..100).collect::<Vec<_>>());
+    }
+}

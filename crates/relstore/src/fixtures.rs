@@ -1,0 +1,38 @@
+//! Small shared fixtures used by tests, examples, and downstream crates'
+//! documentation. The full synthetic datasets live in the `datasets` crate;
+//! the fixtures here are the literal fragments printed in the paper.
+
+use crate::database::Database;
+
+/// The UW database fragment from Table 4 of the paper (5 relations, 12 tuples).
+pub fn uw_fragment() -> Database {
+    let mut db = Database::new();
+    db.add_relation("student", &["stud"]);
+    db.add_relation("professor", &["prof"]);
+    db.add_relation("inPhase", &["stud", "phase"]);
+    db.add_relation("hasPosition", &["prof", "position"]);
+    db.add_relation("publication", &["title", "person"]);
+    db.insert_named("student", &["juan"]);
+    db.insert_named("student", &["john"]);
+    db.insert_named("professor", &["sarita"]);
+    db.insert_named("professor", &["mary"]);
+    db.insert_named("inPhase", &["juan", "post_quals"]);
+    db.insert_named("inPhase", &["john", "post_quals"]);
+    db.insert_named("hasPosition", &["sarita", "assistant_prof"]);
+    db.insert_named("hasPosition", &["mary", "associate_prof"]);
+    db.insert_named("publication", &["p1", "juan"]);
+    db.insert_named("publication", &["p1", "sarita"]);
+    db.insert_named("publication", &["p2", "john"]);
+    db.insert_named("publication", &["p2", "mary"]);
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fragment_shape() {
+        let db = super::uw_fragment();
+        assert_eq!(db.catalog().len(), 5);
+        assert_eq!(db.total_tuples(), 12);
+    }
+}

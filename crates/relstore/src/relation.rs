@@ -1,0 +1,249 @@
+//! Tuple storage for a single relation, with per-attribute inverted indexes
+//! and the frequency statistics the Olken-style samplers need.
+
+use crate::dict::Const;
+use crate::fxhash::FxHashMap;
+
+/// A tuple: one interned constant per attribute.
+pub type Tuple = Box<[Const]>;
+
+/// Index of a tuple within its relation's tuple vector.
+pub type TupleId = u32;
+
+/// Inverted index for one attribute: value → ids of tuples holding it,
+/// plus the maximum per-value frequency (the `M_{R.B}` bound in the paper's
+/// §4.2.3 accept–reject sampler).
+#[derive(Debug, Default, Clone)]
+pub struct AttrIndex {
+    postings: FxHashMap<Const, Vec<TupleId>>,
+    max_freq: usize,
+}
+
+impl AttrIndex {
+    /// Tuple ids whose attribute equals `c` (empty slice if none).
+    pub fn lookup(&self, c: Const) -> &[TupleId] {
+        self.postings.get(&c).map_or(&[], Vec::as_slice)
+    }
+
+    /// Frequency `m(c)` of value `c` in this attribute.
+    pub fn freq(&self, c: Const) -> usize {
+        self.postings.get(&c).map_or(0, Vec::len)
+    }
+
+    /// Upper bound `M` on any value's frequency in this attribute.
+    pub fn max_freq(&self) -> usize {
+        self.max_freq
+    }
+
+    /// Number of distinct values in this attribute.
+    pub fn distinct_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Iterates over distinct values of this attribute.
+    pub fn distinct_values(&self) -> impl Iterator<Item = Const> + '_ {
+        self.postings.keys().copied()
+    }
+
+    fn insert(&mut self, c: Const, t: TupleId) {
+        let v = self.postings.entry(c).or_default();
+        v.push(t);
+        if v.len() > self.max_freq {
+            self.max_freq = v.len();
+        }
+    }
+}
+
+/// Tuples of one relation plus lazily built per-attribute indexes.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    arity: usize,
+    tuples: Vec<Tuple>,
+    /// `indexes[pos]` is `Some` once built via [`Relation::build_indexes`].
+    indexes: Vec<Option<AttrIndex>>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given arity.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            tuples: Vec::new(),
+            indexes: vec![None; arity],
+        }
+    }
+
+    /// Arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of stored tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Appends a tuple, returning its id. Duplicates are stored as given
+    /// (the store has bag semantics; learners that need set semantics
+    /// deduplicate at load time).
+    ///
+    /// # Panics
+    /// Panics if the tuple arity does not match the relation's.
+    pub fn insert(&mut self, tuple: Tuple) -> TupleId {
+        assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
+        let id = self.tuples.len() as TupleId;
+        // Keep any already-built indexes coherent with the new tuple.
+        for (pos, idx) in self.indexes.iter_mut().enumerate() {
+            if let Some(idx) = idx {
+                idx.insert(tuple[pos], id);
+            }
+        }
+        self.tuples.push(tuple);
+        id
+    }
+
+    /// The tuple with id `id`.
+    pub fn tuple(&self, id: TupleId) -> &[Const] {
+        &self.tuples[id as usize]
+    }
+
+    /// Iterates over `(TupleId, &tuple)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &[Const])> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i as TupleId, t.as_ref()))
+    }
+
+    /// Builds the inverted index for attribute `pos` if not yet built.
+    pub fn build_index(&mut self, pos: usize) {
+        if self.indexes[pos].is_some() {
+            return;
+        }
+        let mut idx = AttrIndex::default();
+        for (id, t) in self.tuples.iter().enumerate() {
+            idx.insert(t[pos], id as TupleId);
+        }
+        self.indexes[pos] = Some(idx);
+    }
+
+    /// Builds indexes for all attributes.
+    pub fn build_indexes(&mut self) {
+        for pos in 0..self.arity {
+            self.build_index(pos);
+        }
+    }
+
+    /// The index for attribute `pos`, if built.
+    pub fn index(&self, pos: usize) -> Option<&AttrIndex> {
+        self.indexes[pos].as_ref()
+    }
+
+    /// Tuple ids where attribute `pos` equals `c`. Uses the index when built,
+    /// otherwise scans.
+    pub fn select_eq(&self, pos: usize, c: Const) -> Vec<TupleId> {
+        match self.index(pos) {
+            Some(idx) => idx.lookup(c).to_vec(),
+            None => self
+                .iter()
+                .filter(|(_, t)| t[pos] == c)
+                .map(|(id, _)| id)
+                .collect(),
+        }
+    }
+
+    /// Distinct values of attribute `pos` (index-backed when available).
+    pub fn distinct(&self, pos: usize) -> Vec<Const> {
+        match self.index(pos) {
+            Some(idx) => idx.distinct_values().collect(),
+            None => {
+                let mut set: Vec<Const> = self.tuples.iter().map(|t| t[pos]).collect();
+                set.sort_unstable();
+                set.dedup();
+                set
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[u32]) -> Tuple {
+        vals.iter().map(|&v| Const(v)).collect()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut r = Relation::new(2);
+        let a = r.insert(t(&[1, 2]));
+        let b = r.insert(t(&[1, 3]));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuple(a), &[Const(1), Const(2)]);
+        assert_eq!(r.tuple(b), &[Const(1), Const(3)]);
+    }
+
+    #[test]
+    fn select_eq_without_index_scans() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[1, 3]));
+        r.insert(t(&[4, 2]));
+        assert_eq!(r.select_eq(0, Const(1)), vec![0, 1]);
+        assert_eq!(r.select_eq(1, Const(2)), vec![0, 2]);
+        assert_eq!(r.select_eq(0, Const(9)), Vec::<TupleId>::new());
+    }
+
+    #[test]
+    fn index_matches_scan() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[1, 3]));
+        r.insert(t(&[4, 2]));
+        let scan = r.select_eq(0, Const(1));
+        r.build_index(0);
+        assert_eq!(r.select_eq(0, Const(1)), scan);
+        let idx = r.index(0).unwrap();
+        assert_eq!(idx.freq(Const(1)), 2);
+        assert_eq!(idx.freq(Const(4)), 1);
+        assert_eq!(idx.max_freq(), 2);
+        assert_eq!(idx.distinct_count(), 2);
+    }
+
+    #[test]
+    fn insert_after_index_keeps_index_coherent() {
+        let mut r = Relation::new(1);
+        r.insert(t(&[5]));
+        r.build_index(0);
+        r.insert(t(&[5]));
+        r.insert(t(&[6]));
+        let idx = r.index(0).unwrap();
+        assert_eq!(idx.freq(Const(5)), 2);
+        assert_eq!(idx.freq(Const(6)), 1);
+        assert_eq!(idx.max_freq(), 2);
+    }
+
+    #[test]
+    fn distinct_values() {
+        let mut r = Relation::new(1);
+        for v in [3, 1, 3, 2, 1] {
+            r.insert(t(&[v]));
+        }
+        let mut d = r.distinct(0);
+        d.sort_unstable();
+        assert_eq!(d, vec![Const(1), Const(2), Const(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1]));
+    }
+}

@@ -1,0 +1,183 @@
+//! Schema catalog: relation symbols and their named attributes.
+
+use crate::fxhash::FxHashMap;
+use std::fmt;
+
+/// Identifies a relation within a [`Catalog`]/database. Dense, stable ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifies one attribute (column) of one relation, e.g. `publication[author]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrRef {
+    /// Owning relation.
+    pub rel: RelId,
+    /// Zero-based attribute position.
+    pub pos: u16,
+}
+
+impl AttrRef {
+    /// Convenience constructor.
+    pub fn new(rel: RelId, pos: usize) -> Self {
+        Self {
+            rel,
+            pos: u16::try_from(pos).expect("relation has more than 65535 attributes"),
+        }
+    }
+}
+
+impl fmt::Display for AttrRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}[{}]", self.rel.0, self.pos)
+    }
+}
+
+/// Schema of a single relation: its name and attribute names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationSchema {
+    /// Relation symbol, e.g. `"publication"`.
+    pub name: String,
+    /// Attribute names in position order, e.g. `["title", "person"]`.
+    pub attrs: Vec<String>,
+}
+
+impl RelationSchema {
+    /// Creates a schema from a name and attribute names.
+    pub fn new(name: impl Into<String>, attrs: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Number of attributes (arity).
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Position of the attribute called `name`, if any.
+    pub fn attr_pos(&self, name: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a == name)
+    }
+}
+
+/// The set of relation schemas in a database, with name-based lookup.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    schemas: Vec<RelationSchema>,
+    by_name: FxHashMap<String, RelId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a relation schema, returning its id.
+    ///
+    /// # Panics
+    /// Panics if a relation with the same name is already registered —
+    /// duplicate relation symbols would make literals ambiguous.
+    pub fn add(&mut self, schema: RelationSchema) -> RelId {
+        assert!(
+            !self.by_name.contains_key(&schema.name),
+            "duplicate relation symbol: {}",
+            schema.name
+        );
+        let id = RelId(self.schemas.len() as u32);
+        self.by_name.insert(schema.name.clone(), id);
+        self.schemas.push(schema);
+        id
+    }
+
+    /// The schema of relation `id`.
+    pub fn schema(&self, id: RelId) -> &RelationSchema {
+        &self.schemas[id.index()]
+    }
+
+    /// Looks up a relation by name.
+    pub fn rel_id(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Whether the catalog has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.schemas.is_empty()
+    }
+
+    /// Iterates over `(RelId, &RelationSchema)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelId, &RelationSchema)> {
+        self.schemas
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RelId(i as u32), s))
+    }
+
+    /// All attributes of all relations, in `(rel, pos)` order.
+    pub fn all_attrs(&self) -> Vec<AttrRef> {
+        let mut out = Vec::new();
+        for (id, s) in self.iter() {
+            for pos in 0..s.arity() {
+                out.push(AttrRef::new(id, pos));
+            }
+        }
+        out
+    }
+
+    /// Human-readable name for an attribute, e.g. `publication[author]`.
+    pub fn attr_name(&self, a: AttrRef) -> String {
+        let s = self.schema(a.rel);
+        format!("{}[{}]", s.name, s.attrs[a.pos as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = Catalog::new();
+        let s = c.add(RelationSchema::new("student", &["stud"]));
+        let p = c.add(RelationSchema::new("publication", &["title", "person"]));
+        assert_eq!(c.rel_id("student"), Some(s));
+        assert_eq!(c.rel_id("publication"), Some(p));
+        assert_eq!(c.rel_id("professor"), None);
+        assert_eq!(c.schema(p).arity(), 2);
+        assert_eq!(c.schema(p).attr_pos("person"), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation symbol")]
+    fn duplicate_relation_panics() {
+        let mut c = Catalog::new();
+        c.add(RelationSchema::new("r", &["a"]));
+        c.add(RelationSchema::new("r", &["b"]));
+    }
+
+    #[test]
+    fn all_attrs_enumerates_in_order() {
+        let mut c = Catalog::new();
+        let r = c.add(RelationSchema::new("r", &["a", "b"]));
+        let s = c.add(RelationSchema::new("s", &["x"]));
+        assert_eq!(
+            c.all_attrs(),
+            vec![AttrRef::new(r, 0), AttrRef::new(r, 1), AttrRef::new(s, 0)]
+        );
+        assert_eq!(c.attr_name(AttrRef::new(r, 1)), "r[b]");
+    }
+}

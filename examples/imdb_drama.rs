@@ -1,0 +1,67 @@
+//! Learning a definition that *needs constants*: `dramaDirector(x)` on the
+//! IMDb-like dataset. This is the scenario where the paper's "No const."
+//! baseline fails (Table 5, IMDb row): without `#` modes the learner cannot
+//! express `genre(m, drama)`.
+//!
+//! ```text
+//! cargo run --example imdb_drama --release
+//! ```
+
+use autobias_repro::autobias::bias::baseline::no_const_bias;
+use autobias_repro::autobias::prelude::*;
+use autobias_repro::datasets::imdb::{generate, ImdbConfig};
+
+fn main() {
+    // A slightly reduced IMDb so the example finishes in seconds.
+    let ds = generate(
+        &ImdbConfig {
+            movies: 400,
+            directors: 120,
+            actors: 300,
+            writers: 80,
+            positives: 40,
+            negatives: 80,
+            ..ImdbConfig::default()
+        },
+        11,
+    );
+    println!("{}", ds.summary());
+
+    let splits = kfold_splits(&ds.pos, &ds.neg, 4, 11);
+    let (train, test) = &splits[0];
+
+    // AutoBias: the constant-threshold marks `genre[genre]` (8 distinct
+    // values over ~2000 tuples) as constant-able, so `genre(+, #)` modes are
+    // induced and the drama constant is reachable.
+    let (auto_bias, _, _) =
+        induce_bias(&ds.db, ds.target, &AutoBiasConfig::default()).expect("induction");
+    // The no-constants baseline cannot have `#` anywhere.
+    let noconst = no_const_bias(&ds.db, ds.target).expect("baseline bias");
+
+    for (name, bias) in [("AutoBias", &auto_bias), ("No const.", &noconst)] {
+        let learner = Learner::new(LearnerConfig {
+            reduce_clauses: true,
+            ..LearnerConfig::default()
+        });
+        let (definition, _) = learner.learn(&ds.db, bias, train);
+        let metrics = evaluate_definition(&ds.db, bias, &definition, test, 2, 11);
+        println!("\n=== {name} ===");
+        if definition.is_empty() {
+            println!("(no definition learned)");
+        } else {
+            println!("{}", definition.render(&ds.db));
+        }
+        println!(
+            "precision {:.2}  recall {:.2}  F-measure {:.2}",
+            metrics.precision(),
+            metrics.recall(),
+            metrics.f_measure()
+        );
+    }
+
+    println!(
+        "\nThe AutoBias definition mentions the constant `drama`; the no-constant\n\
+         baseline can at best approximate it and loses precision — the paper's\n\
+         Table 5 IMDb row in miniature."
+    );
+}

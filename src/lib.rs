@@ -1,0 +1,17 @@
+//! # autobias-repro — umbrella crate
+//!
+//! Re-exports the public API of the AutoBias reproduction so examples and
+//! integration tests can `use autobias_repro::...` without naming individual
+//! workspace crates. See the individual crates for the implementation:
+//!
+//! - [`relstore`] — in-memory relational substrate (VoltDB substitute)
+//! - [`constraints`] — exact/approximate IND discovery and the type graph
+//! - [`autobias`] — language-bias induction, sampling, and the bottom-up learner
+//! - [`foil`] — top-down FOIL baseline (the paper's Aleph configuration)
+//! - [`datasets`] — synthetic dataset generators with expert bias
+
+pub use autobias;
+pub use constraints;
+pub use datasets;
+pub use foil;
+pub use relstore;

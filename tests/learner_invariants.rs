@@ -1,0 +1,197 @@
+//! Cross-cutting learner invariants that hold regardless of data:
+//!
+//! - prefix coverage is antitone (the blocking-atom binary search's premise);
+//! - armg output is a syntactic subset of its input;
+//! - learned clauses respect the language bias (only body relations with
+//!   modes, constants only on `#`-able attributes);
+//! - sampled learning never reports coverage that exact query evaluation
+//!   contradicts on the *training* set (one-sided approximation).
+
+use autobias_repro::autobias::generalize::blocking_atom;
+use autobias_repro::autobias::prelude::*;
+use autobias_repro::relstore::{AttrRef, Database};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn coauthor_world(n: usize) -> (Database, relstore::RelId, TrainingSet, LanguageBias) {
+    let mut db = Database::new();
+    let student = db.add_relation("student", &["stud"]);
+    let professor = db.add_relation("professor", &["prof"]);
+    let publ = db.add_relation("publication", &["title", "person"]);
+    let in_phase = db.add_relation("inPhase", &["stud", "phase"]);
+    let target = db.add_relation("advisedBy", &["stud", "prof"]);
+    let phases = ["a", "b", "c"];
+    let mut pos = Vec::new();
+    let mut neg = Vec::new();
+    for i in 0..n {
+        let s = format!("s{i}");
+        let p = format!("f{i}");
+        let t = format!("t{i}");
+        db.insert(student, &[&s]);
+        db.insert(professor, &[&p]);
+        db.insert(publ, &[&t, &s]);
+        db.insert(publ, &[&t, &p]);
+        db.insert(in_phase, &[&s, phases[i % 3]]);
+        db.insert(target, &[&s, &p]);
+    }
+    for i in 0..n {
+        let s = db.lookup(&format!("s{i}")).unwrap();
+        let p = db.lookup(&format!("f{i}")).unwrap();
+        let p2 = db.lookup(&format!("f{}", (i + 1) % n)).unwrap();
+        pos.push(Example::new(target, vec![s, p]));
+        neg.push(Example::new(target, vec![s, p2]));
+    }
+    db.build_indexes();
+    let bias = parse_bias(
+        &db,
+        target,
+        "
+pred student(T1)
+pred professor(T3)
+pred publication(T5, T1)
+pred publication(T5, T3)
+pred inPhase(T1, T2)
+pred advisedBy(T1, T3)
+mode student(+)
+mode professor(+)
+mode publication(-, +)
+mode inPhase(+, #)
+mode inPhase(+, -)
+",
+    )
+    .unwrap();
+    (db, target, TrainingSet::new(pos, neg), bias)
+}
+
+fn engine(db: &Database, train: &TrainingSet, bias: &LanguageBias) -> CoverageEngine {
+    let cfg = BcConfig {
+        depth: 2,
+        strategy: SamplingStrategy::Full,
+        max_tuples: 5_000,
+        max_body_literals: 50_000,
+    };
+    CoverageEngine::build(db, bias, train, &cfg, SubsumeConfig::default(), 17)
+}
+
+/// Prefix coverage is antitone in the prefix length for every (clause,
+/// example) pair: once a prefix fails, every extension fails.
+#[test]
+fn prefix_coverage_is_antitone() {
+    let (db, _, train, bias) = coauthor_world(8);
+    let eng = engine(&db, &train, &bias);
+    for seed in 0..3 {
+        let clause = eng.pos[seed].clause.clone();
+        for ex in 0..train.pos.len() {
+            let mut failed_at: Option<usize> = None;
+            for len in 0..=clause.len() {
+                let prefix = Clause::new(clause.head.clone(), clause.body[..len].to_vec());
+                let covers = eng.covers_pos(&prefix, ex);
+                if let Some(f) = failed_at {
+                    assert!(
+                        !covers,
+                        "prefix {len} covers example {ex} after prefix {f} failed"
+                    );
+                } else if !covers {
+                    failed_at = Some(len);
+                }
+            }
+            // blocking_atom must agree with the linear scan.
+            let expected = failed_at.map(|f| f - 1);
+            assert_eq!(blocking_atom(&clause, &eng, ex), expected);
+        }
+    }
+}
+
+/// armg's result uses only literals present in its input (it only removes).
+#[test]
+fn armg_removes_never_adds() {
+    let (db, _, train, bias) = coauthor_world(8);
+    let eng = engine(&db, &train, &bias);
+    let bc = eng.pos[0].clause.clone();
+    for ex in 1..train.pos.len() {
+        if eng.covers_pos(&bc, ex) {
+            continue;
+        }
+        if let Some(g) = armg(&bc, &eng, ex) {
+            for lit in &g.body {
+                assert!(
+                    bc.body.contains(lit),
+                    "armg invented literal {}",
+                    lit.render(&db)
+                );
+            }
+            assert!(g.len() < bc.len());
+        }
+    }
+}
+
+/// Learned clauses stay inside the language bias: every body literal's
+/// relation has a mode, and constants appear only on `#`-able attributes.
+#[test]
+fn learned_clauses_respect_bias() {
+    let (db, _, train, bias) = coauthor_world(10);
+    let cfg = LearnerConfig {
+        bc: BcConfig {
+            depth: 2,
+            strategy: SamplingStrategy::Full,
+            max_tuples: 5_000,
+            max_body_literals: 50_000,
+        },
+        ..LearnerConfig::default()
+    };
+    let (def, _) = Learner::new(cfg).learn(&db, &bias, &train);
+    assert!(!def.is_empty());
+    for clause in &def.clauses {
+        assert_eq!(clause.head.rel, bias.target);
+        for lit in &clause.body {
+            assert!(
+                bias.modes_for(lit.rel).next().is_some(),
+                "literal of relation without a mode: {}",
+                lit.render(&db)
+            );
+            for (pos, term) in lit.args.iter().enumerate() {
+                if matches!(term, Term::Const(_)) {
+                    assert!(
+                        bias.can_be_const(AttrRef::new(lit.rel, pos)),
+                        "constant on a non-# attribute in {}",
+                        lit.render(&db)
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Sampled coverage is one-sided w.r.t. exact query evaluation: if the
+/// sampled engine says a clause covers a training example, the exact SPJ
+/// evaluation agrees (sampling can only *miss* coverage).
+#[test]
+fn sampled_coverage_is_one_sided_vs_query() {
+    let (db, _, train, bias) = coauthor_world(10);
+    let cfg = BcConfig {
+        depth: 2,
+        strategy: SamplingStrategy::Naive { per_selection: 3 },
+        max_tuples: 100,
+        max_body_literals: 1_000,
+    };
+    let eng = CoverageEngine::build(&db, &bias, &train, &cfg, SubsumeConfig::default(), 5);
+    let mut rng = StdRng::seed_from_u64(2);
+    let bc = build_bottom_clause(&db, &bias, &train.pos[0], &cfg, &mut rng);
+    // Candidate: the generalized co-authorship clause.
+    let candidate = armg(&bc.clause, &eng, 1).unwrap_or(bc.clause);
+    let qcfg = QueryConfig::default();
+    for (i, e) in train.pos.iter().enumerate() {
+        if eng.covers_pos(&candidate, i) {
+            assert!(
+                clause_covers(&db, &candidate, e, &qcfg),
+                "sampled engine claims coverage the exact semantics denies: {}",
+                e.render(&db)
+            );
+        }
+    }
+    for (i, e) in train.neg.iter().enumerate() {
+        if eng.covers_neg(&candidate, i) {
+            assert!(clause_covers(&db, &candidate, e, &qcfg));
+        }
+    }
+}

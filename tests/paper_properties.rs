@@ -1,0 +1,202 @@
+//! Integration tests pinning the properties the paper states explicitly:
+//! Example 2.5's bottom clause, Figure 1's type-graph shape, Table 3's
+//! induced definitions, and the §3.2 mode-generation rules.
+
+use autobias_repro::autobias::prelude::*;
+use autobias_repro::constraints::{build_type_graph, discover_inds, IndConfig};
+use autobias_repro::relstore::fixtures::uw_fragment;
+use autobias_repro::relstore::{AttrRef, Database};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const UW_TABLE3_BIAS: &str = "
+pred student(T1)
+pred inPhase(T1, T2)
+pred professor(T3)
+pred hasPosition(T3, T4)
+pred publication(T5, T1)
+pred publication(T5, T3)
+pred advisedBy(T1, T3)
+mode student(+)
+mode inPhase(+, -)
+mode inPhase(+, #)
+mode professor(+)
+mode hasPosition(+, -)
+mode publication(-, +)
+";
+
+fn uw_with_target() -> (Database, autobias_repro::relstore::RelId) {
+    let mut db = uw_fragment();
+    let target = db.add_relation("advisedBy", &["stud", "prof"]);
+    db.insert(target, &["juan", "sarita"]);
+    db.insert(target, &["john", "mary"]);
+    db.build_indexes();
+    (db, target)
+}
+
+/// Example 2.5: the bottom clause for advisedBy(juan, sarita) at d = 1 under
+/// the Table 3 bias has exactly the paper's seven literals.
+#[test]
+fn example_2_5_exact_reproduction() {
+    let (db, target) = uw_with_target();
+    let bias = parse_bias(&db, target, UW_TABLE3_BIAS).unwrap();
+    let juan = db.lookup("juan").unwrap();
+    let sarita = db.lookup("sarita").unwrap();
+    let example = Example::new(target, vec![juan, sarita]);
+    let mut rng = StdRng::seed_from_u64(0);
+    let bc = build_bottom_clause(
+        &db,
+        &bias,
+        &example,
+        &BcConfig {
+            depth: 1,
+            strategy: SamplingStrategy::Full,
+            max_body_literals: 100_000,
+            max_tuples: 1000,
+        },
+        &mut rng,
+    );
+    let rendered: Vec<String> = bc.clause.body.iter().map(|l| l.render(&db)).collect();
+    assert_eq!(bc.clause.len(), 7, "literals: {rendered:?}");
+    // The seven literals, structurally:
+    assert!(rendered.contains(&"student(x)".to_string()));
+    assert!(rendered.contains(&"professor(y)".to_string()));
+    // inPhase twice: variable form and constant form (modes (+,-) and (+,#)).
+    let in_phase: Vec<_> = rendered
+        .iter()
+        .filter(|l| l.starts_with("inPhase("))
+        .collect();
+    assert_eq!(in_phase.len(), 2);
+    assert!(in_phase.iter().any(|l| l.contains("post_quals")));
+    // hasPosition with a fresh variable.
+    assert_eq!(
+        rendered
+            .iter()
+            .filter(|l| l.starts_with("hasPosition("))
+            .count(),
+        1
+    );
+    // publication(z, x) and publication(z, y) sharing the title variable.
+    let pubs: Vec<_> = rendered
+        .iter()
+        .filter(|l| l.starts_with("publication("))
+        .collect();
+    assert_eq!(pubs.len(), 2);
+}
+
+/// The bottom clause must cover its own example (it is the most specific
+/// covering clause).
+#[test]
+fn bottom_clause_covers_own_example() {
+    let (db, target) = uw_with_target();
+    let bias = parse_bias(&db, target, UW_TABLE3_BIAS).unwrap();
+    let juan = db.lookup("juan").unwrap();
+    let sarita = db.lookup("sarita").unwrap();
+    let example = Example::new(target, vec![juan, sarita]);
+    let mut rng = StdRng::seed_from_u64(0);
+    let bc = build_bottom_clause(&db, &bias, &example, &BcConfig::default(), &mut rng);
+    assert!(theta_subsumes(
+        &bc.clause,
+        &bc.ground,
+        &SubsumeConfig::default(),
+        &mut rng
+    ));
+}
+
+/// §3.2: the generated mode definitions for the UW fragment follow the
+/// paper's rules — one `+` per mode, `-` elsewhere, `#` only below the
+/// constant-threshold.
+#[test]
+fn mode_generation_rules() {
+    let (db, target) = uw_with_target();
+    let (bias, _, _) = induce_bias(
+        &db,
+        target,
+        &AutoBiasConfig {
+            constant_threshold: ConstantThreshold::Absolute(3),
+            ..AutoBiasConfig::default()
+        },
+    )
+    .unwrap();
+    for mode in &bias.modes {
+        let plus = mode
+            .args
+            .iter()
+            .filter(|a| matches!(a, ArgMode::Plus))
+            .count();
+        assert_eq!(
+            plus, 1,
+            "every mode has exactly one + (no Cartesian products)"
+        );
+    }
+    // inPhase[phase] has 1 distinct value (< 3): must be constant-able.
+    let in_phase = db.rel_id("inPhase").unwrap();
+    assert!(bias.can_be_const(AttrRef::new(in_phase, 1)));
+    // student[stud] has 2 distinct values (< 3): also constant-able.
+    // publication[title] has 2 (< 3). The threshold drives everything.
+    let publ = db.rel_id("publication").unwrap();
+    assert!(bias.can_be_const(AttrRef::new(publ, 0)));
+}
+
+/// Figure 1 (on data with the paper's IND structure): publication[person]
+/// joins both student and professor; the two entity types stay distinct.
+#[test]
+fn figure1_type_graph_shape() {
+    let mut db = Database::new();
+    let student = db.add_relation("student", &["stud"]);
+    let professor = db.add_relation("professor", &["prof"]);
+    let publ = db.add_relation("publication", &["title", "person"]);
+    for i in 0..10 {
+        db.insert(student, &[&format!("s{i}")]);
+        db.insert(professor, &[&format!("f{i}")]);
+    }
+    for i in 0..4 {
+        db.insert(publ, &[&format!("p{i}"), &format!("s{i}")]);
+        db.insert(publ, &[&format!("p{i}"), &format!("f{i}")]);
+    }
+    let inds = discover_inds(&db, &IndConfig::default());
+    let graph = build_type_graph(&db, &inds);
+    let person = AttrRef::new(publ, 1);
+    let stud = AttrRef::new(student, 0);
+    let prof = AttrRef::new(professor, 0);
+    assert!(graph.share_type(person, stud));
+    assert!(graph.share_type(person, prof));
+    assert!(!graph.share_type(stud, prof));
+    // Titles are their own domain.
+    assert!(!graph.share_type(AttrRef::new(publ, 0), person));
+}
+
+/// End-to-end on the paper's running example: learning advisedBy with the
+/// Table 3 bias recovers the co-authorship clause.
+#[test]
+fn uw_fragment_learns_coauthorship() {
+    let (db, target) = uw_with_target();
+    let bias = parse_bias(&db, target, UW_TABLE3_BIAS).unwrap();
+    let juan = db.lookup("juan").unwrap();
+    let sarita = db.lookup("sarita").unwrap();
+    let john = db.lookup("john").unwrap();
+    let mary = db.lookup("mary").unwrap();
+    let train = TrainingSet::new(
+        vec![
+            Example::new(target, vec![juan, sarita]),
+            Example::new(target, vec![john, mary]),
+        ],
+        vec![
+            Example::new(target, vec![juan, mary]),
+            Example::new(target, vec![john, sarita]),
+        ],
+    );
+    let learner = Learner::new(LearnerConfig {
+        bc: BcConfig {
+            depth: 2,
+            strategy: SamplingStrategy::Full,
+            max_body_literals: 100_000,
+            max_tuples: 1000,
+        },
+        ..LearnerConfig::default()
+    });
+    let (def, _, pos_cov, neg_cov) = learner.learn_with_coverage(&db, &bias, &train);
+    assert!(!def.is_empty());
+    assert!(pos_cov.iter().all(|&c| c));
+    assert!(neg_cov.iter().all(|&c| !c));
+}

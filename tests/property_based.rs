@@ -1,0 +1,349 @@
+//! Property-based tests over the core invariants:
+//!
+//! - θ-subsumption matches a brute-force oracle on small random instances;
+//! - sampled bottom clauses only contain tuples the full BC contains;
+//! - IND discovery agrees with the direct subset check on random databases;
+//! - the type graph's joinability relation is reflexive and symmetric;
+//! - k-fold splits partition the data;
+//! - armg results generalize (cover everything the input covered).
+
+use autobias_repro::autobias::bottom::GroundLiteral;
+use autobias_repro::autobias::prelude::*;
+use autobias_repro::constraints::{build_type_graph, check_ind, discover_inds, IndConfig};
+use autobias_repro::relstore::{AttrRef, Const, Database, FxHashMap, FxHashSet, RelId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+// ---------- θ-subsumption vs brute force ----------
+
+/// Brute-force subsumption oracle: try every mapping of body literals to
+/// ground literals (exponential; fine for ≤4 body literals).
+fn brute_force_subsumes(clause: &Clause, ground: &GroundClause) -> bool {
+    if clause.head.rel != ground.example.rel || clause.head.args.len() != ground.example.args.len()
+    {
+        return false;
+    }
+    let mut binding: FxHashMap<VarId, Const> = FxHashMap::default();
+    for (t, &c) in clause.head.args.iter().zip(ground.example.args.iter()) {
+        match *t {
+            Term::Var(v) => match binding.get(&v) {
+                None => {
+                    binding.insert(v, c);
+                }
+                Some(&b) if b == c => {}
+                Some(_) => return false,
+            },
+            Term::Const(k) => {
+                if k != c {
+                    return false;
+                }
+            }
+        }
+    }
+    fn rec(body: &[Literal], ground: &GroundClause, binding: &FxHashMap<VarId, Const>) -> bool {
+        let Some(lit) = body.first() else {
+            return true;
+        };
+        'g: for g in &ground.body {
+            if g.rel != lit.rel || g.vals.len() != lit.args.len() {
+                continue;
+            }
+            let mut next = binding.clone();
+            for (t, &gv) in lit.args.iter().zip(g.vals.iter()) {
+                match *t {
+                    Term::Const(c) => {
+                        if c != gv {
+                            continue 'g;
+                        }
+                    }
+                    Term::Var(v) => match next.get(&v) {
+                        None => {
+                            next.insert(v, gv);
+                        }
+                        Some(&b) if b == gv => {}
+                        Some(_) => continue 'g,
+                    },
+                }
+            }
+            if rec(&body[1..], ground, &next) {
+                return true;
+            }
+        }
+        false
+    }
+    rec(&clause.body, ground, &binding)
+}
+
+/// Strategy: a small ground clause over 2 relations with ≤ 8 body literals
+/// and constants drawn from a tiny pool (to force shared values).
+fn ground_strategy() -> impl Strategy<Value = GroundClause> {
+    let lit = (0u32..2, 0u32..5, 0u32..5).prop_map(|(r, a, b)| GroundLiteral {
+        rel: RelId(r),
+        vals: vec![Const(a), Const(b)].into(),
+    });
+    (proptest::collection::vec(lit, 0..8), 0u32..5, 0u32..5).prop_map(|(body, a, b)| {
+        GroundClause::new(Example::new(RelId(9), vec![Const(a), Const(b)]), body)
+    })
+}
+
+/// Strategy: a clause with ≤ 4 body literals over the same relations, with
+/// variables 0..6 and occasional constants.
+fn clause_strategy() -> impl Strategy<Value = Clause> {
+    let term = prop_oneof![
+        (0u32..6).prop_map(|v| Term::Var(VarId(v))),
+        (0u32..5).prop_map(|c| Term::Const(Const(c))),
+    ];
+    let lit =
+        (0u32..2, term.clone(), term).prop_map(|(r, a, b)| Literal::new(RelId(r), vec![a, b]));
+    proptest::collection::vec(lit, 0..4).prop_map(|body| {
+        Clause::new(
+            Literal::new(RelId(9), vec![Term::Var(VarId(0)), Term::Var(VarId(1))]),
+            body,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// With a generous node budget the randomized search is complete on these
+    /// tiny instances, so it must agree exactly with brute force.
+    #[test]
+    fn subsumption_matches_brute_force(clause in clause_strategy(), ground in ground_strategy()) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let cfg = SubsumeConfig { node_limit: 1_000_000, max_restarts: 0 };
+        let fast = theta_subsumes(&clause, &ground, &cfg, &mut rng);
+        let slow = brute_force_subsumes(&clause, &ground);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// The approximation is one-sided: with a tight budget the answer may be
+    /// a false "no" but never a false "yes".
+    #[test]
+    fn tight_budget_is_one_sided(clause in clause_strategy(), ground in ground_strategy()) {
+        let mut rng = StdRng::seed_from_u64(5);
+        let tight = SubsumeConfig { node_limit: 3, max_restarts: 0 };
+        if theta_subsumes(&clause, &ground, &tight, &mut rng) {
+            prop_assert!(brute_force_subsumes(&clause, &ground));
+        }
+    }
+}
+
+// ---------- sampling invariants ----------
+
+/// Random database in the UW-fragment shape.
+fn small_uw(seed: u64, n: usize) -> (Database, RelId) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    use rand::Rng;
+    let mut db = Database::new();
+    let student = db.add_relation("student", &["stud"]);
+    let publ = db.add_relation("publication", &["title", "person"]);
+    let target = db.add_relation("advisedBy", &["stud", "prof"]);
+    for i in 0..n {
+        db.insert(student, &[&format!("s{i}")]);
+        let t = format!("p{}", rng.random_range(0..n.max(1)));
+        db.insert(publ, &[&t, &format!("s{i}")]);
+    }
+    db.insert(target, &["s0", "s1"]);
+    db.build_indexes();
+    (db, target)
+}
+
+const SMALL_BIAS: &str = "
+pred student(T1)
+pred publication(T5, T1)
+pred advisedBy(T1, T1)
+mode student(+)
+mode publication(-, +)
+mode publication(+, -)
+";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every tuple a sampled BC collects is in the full BC's collection:
+    /// sampling only removes, never invents.
+    #[test]
+    fn sampled_bc_is_subset_of_full(seed in 0u64..500, n in 2usize..20, strat in 0usize..3) {
+        let (db, target) = small_uw(seed, n);
+        let bias = parse_bias(&db, target, SMALL_BIAS).unwrap();
+        let s0 = db.lookup("s0").unwrap();
+        let s1 = db.lookup("s1").unwrap();
+        let e = Example::new(target, vec![s0, s1]);
+        let full_cfg = BcConfig { depth: 2, strategy: SamplingStrategy::Full, max_body_literals: 100_000, max_tuples: 10_000 };
+        let strategy = match strat {
+            0 => SamplingStrategy::Naive { per_selection: 2 },
+            1 => SamplingStrategy::Random { per_selection: 2, oversample: 5 },
+            _ => SamplingStrategy::Stratified { per_stratum: 1 },
+        };
+        let s_cfg = BcConfig { depth: 2, strategy, max_body_literals: 100_000, max_tuples: 10_000 };
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let full: FxHashSet<GroundLiteral> =
+            build_bottom_clause(&db, &bias, &e, &full_cfg, &mut rng).ground.body.into_iter().collect();
+        let sampled = build_bottom_clause(&db, &bias, &e, &s_cfg, &mut rng).ground;
+        for lit in &sampled.body {
+            prop_assert!(full.contains(lit), "sampled literal outside full BC");
+        }
+    }
+
+    /// The BC's variable-ized clause always covers its own ground BC.
+    #[test]
+    fn bc_covers_itself(seed in 0u64..200, n in 2usize..15) {
+        let (db, target) = small_uw(seed, n);
+        let bias = parse_bias(&db, target, SMALL_BIAS).unwrap();
+        let s0 = db.lookup("s0").unwrap();
+        let s1 = db.lookup("s1").unwrap();
+        let e = Example::new(target, vec![s0, s1]);
+        let cfg = BcConfig { depth: 2, strategy: SamplingStrategy::Full, max_body_literals: 100_000, max_tuples: 10_000 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bc = build_bottom_clause(&db, &bias, &e, &cfg, &mut rng);
+        prop_assert!(theta_subsumes(&bc.clause, &bc.ground, &SubsumeConfig::default(), &mut rng));
+    }
+}
+
+// ---------- IND discovery ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Discovery agrees with the direct σ-based check on random data.
+    #[test]
+    fn ind_discovery_agrees_with_oracle(
+        rows_a in proptest::collection::vec(0u32..10, 1..30),
+        rows_b in proptest::collection::vec(0u32..10, 1..30),
+    ) {
+        let mut db = Database::new();
+        let ra = db.add_relation("ra", &["x"]);
+        let rb = db.add_relation("rb", &["y"]);
+        for v in &rows_a { db.insert(ra, &[&format!("v{v}")]); }
+        for v in &rows_b { db.insert(rb, &[&format!("v{v}")]); }
+        let cfg = IndConfig { max_error: 1.0, min_distinct_for_approx: 1, ..IndConfig::default() };
+        let inds = discover_inds(&db, &cfg);
+        let a = AttrRef::new(ra, 0);
+        let b = AttrRef::new(rb, 0);
+        let found = inds.iter().find(|i| i.from == a && i.to == b).expect("pair reported");
+        let direct = check_ind(&db, a, b);
+        prop_assert!((found.error - direct).abs() < 1e-12);
+    }
+
+    /// Type-graph joinability is reflexive and symmetric for every attribute.
+    #[test]
+    fn typegraph_joinability_reflexive_symmetric(
+        rows_a in proptest::collection::vec(0u32..8, 1..20),
+        rows_b in proptest::collection::vec(0u32..8, 1..20),
+    ) {
+        let mut db = Database::new();
+        let ra = db.add_relation("ra", &["x", "y"]);
+        let rb = db.add_relation("rb", &["z"]);
+        for (i, v) in rows_a.iter().enumerate() {
+            db.insert(ra, &[&format!("v{v}"), &format!("w{i}")]);
+        }
+        for v in &rows_b { db.insert(rb, &[&format!("v{v}")]); }
+        let inds = discover_inds(&db, &IndConfig::default());
+        let g = build_type_graph(&db, &inds);
+        let attrs = db.catalog().all_attrs();
+        for &x in &attrs {
+            prop_assert!(g.share_type(x, x), "reflexive");
+            for &y in &attrs {
+                prop_assert_eq!(g.share_type(x, y), g.share_type(y, x), "symmetric");
+            }
+        }
+    }
+}
+
+// ---------- k-fold and armg ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every example lands in exactly one test fold, and train/test never
+    /// overlap.
+    #[test]
+    fn kfold_partition(np in 2usize..40, nn in 2usize..40, k in 2usize..6, seed in 0u64..100) {
+        let mk = |n: usize| -> Vec<Example> {
+            (0..n).map(|i| Example::new(RelId(0), vec![Const(i as u32)])).collect()
+        };
+        let pos = mk(np);
+        let neg = mk(nn);
+        let splits = kfold_splits(&pos, &neg, k, seed);
+        prop_assert_eq!(splits.len(), k);
+        let total_test_pos: usize = splits.iter().map(|(_, t)| t.pos.len()).sum();
+        prop_assert_eq!(total_test_pos, np);
+        for (train, test) in &splits {
+            prop_assert_eq!(train.pos.len() + test.pos.len(), np);
+            for e in &test.pos {
+                prop_assert!(!train.pos.contains(e));
+            }
+            for e in &test.neg {
+                prop_assert!(!train.neg.contains(e));
+            }
+        }
+    }
+}
+
+/// armg output covers both the new example and everything the input covered
+/// (it is a *generalization*), checked on the co-authorship world.
+#[test]
+fn armg_is_a_generalization() {
+    let mut db = Database::new();
+    let student = db.add_relation("student", &["stud"]);
+    let publ = db.add_relation("publication", &["title", "person"]);
+    let in_phase = db.add_relation("inPhase", &["stud", "phase"]);
+    let target = db.add_relation("advisedBy", &["stud", "prof"]);
+    let phases = ["a", "b", "c"];
+    for i in 0..9 {
+        let s = format!("s{i}");
+        let p = format!("f{i}");
+        let t = format!("t{i}");
+        db.insert(student, &[&s]);
+        db.insert(publ, &[&t, &s]);
+        db.insert(publ, &[&t, &p]);
+        db.insert(in_phase, &[&s, phases[i % 3]]);
+    }
+    db.build_indexes();
+    let bias = parse_bias(
+        &db,
+        target,
+        "
+pred student(T1)
+pred publication(T5, T1)
+pred inPhase(T1, T2)
+pred advisedBy(T1, T3)
+pred publication(T5, T3)
+mode student(+)
+mode publication(-, +)
+mode inPhase(+, #)
+mode inPhase(+, -)
+",
+    )
+    .unwrap();
+    let ex = |i: usize, db: &Database| {
+        let s = db.lookup(&format!("s{i}")).unwrap();
+        let p = db.lookup(&format!("f{i}")).unwrap();
+        Example::new(target, vec![s, p])
+    };
+    let train = TrainingSet::new((0..9).map(|i| ex(i, &db)).collect(), vec![]);
+    let cfg = BcConfig {
+        depth: 2,
+        strategy: SamplingStrategy::Full,
+        max_body_literals: 100_000,
+        max_tuples: 5000,
+    };
+    let engine = CoverageEngine::build(&db, &bias, &train, &cfg, SubsumeConfig::default(), 3);
+
+    for seed_idx in 0..3 {
+        let bc = engine.pos[seed_idx].clause.clone();
+        let covered_before: Vec<usize> = (0..9).filter(|&i| engine.covers_pos(&bc, i)).collect();
+        for other in 0..9 {
+            if engine.covers_pos(&bc, other) {
+                continue;
+            }
+            let g = armg(&bc, &engine, other).expect("armg");
+            assert!(engine.covers_pos(&g, other), "covers the armg target");
+            for &i in &covered_before {
+                assert!(engine.covers_pos(&g, i), "still covers example {i}");
+            }
+        }
+    }
+}
