@@ -45,6 +45,7 @@ fn main() -> ExitCode {
         "learn" => cmd_learn(&args),
         "eval" => cmd_eval(&args),
         "predict" => cmd_predict(&args),
+        "serve" => cmd_serve(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -55,6 +56,9 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
+            if e.contains("missing --") {
+                eprintln!("{USAGE}");
+            }
             ExitCode::FAILURE
         }
     }
@@ -72,7 +76,8 @@ USAGE:
   autobias learn   --data DIR [--bias auto|manual|FILE] [--out FILE]
                    [--sampling naive|random|stratified|full] [--depth N] [--seed N]
   autobias eval    --data DIR --model FILE
-  autobias predict --data DIR --model FILE --args \"v1,v2\"";
+  autobias predict --data DIR --model FILE --args \"v1,v2\"
+  autobias serve   --data DIR --models DIR [--addr HOST:PORT] [--threads N]";
 
 fn load(args: &Args) -> Result<Dataset, String> {
     let dir = args.get_str("--data").ok_or("missing --data DIR")?;
@@ -254,6 +259,7 @@ fn load_model(args: &Args, ds: &mut Dataset) -> Result<autobias::clause::Definit
 }
 
 fn cmd_eval(args: &Args) -> Result<(), String> {
+    args.get_str("--model").ok_or("missing --model FILE")?;
     let mut ds = load(args)?;
     let def = load_model(args, &mut ds)?;
     let qcfg = QueryConfig::default();
@@ -285,10 +291,12 @@ fn cmd_eval(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_predict(args: &Args) -> Result<(), String> {
+    args.get_str("--model").ok_or("missing --model FILE")?;
+    let raw = args.get_str("--args").ok_or("missing --args \"v1,v2\"")?;
     let mut ds = load(args)?;
     let def = load_model(args, &mut ds)?;
-    let raw = args.get_str("--args").ok_or("missing --args \"v1,v2\"")?;
-    let fields: Vec<&str> = raw.split(',').map(str::trim).collect();
+    let fields = autobias::example::parse_arg_tuple(raw)?;
+    let fields: Vec<&str> = fields.iter().map(String::as_str).collect();
     let arity = ds.db.catalog().schema(ds.target).arity();
     if fields.len() != arity {
         return Err(format!(
@@ -303,5 +311,33 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         example.render(&ds.db),
         if covered { "POSITIVE" } else { "negative" }
     );
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let data = args.get_str("--data").ok_or("missing --data DIR")?;
+    let models = args.get_str("--models").ok_or("missing --models DIR")?;
+    let cfg = autobias_serve::ServeConfig {
+        addr: args
+            .get_str("--addr")
+            .unwrap_or("127.0.0.1:8720")
+            .to_string(),
+        data_dir: PathBuf::from(data),
+        models_dir: PathBuf::from(models),
+        threads: args.get("--threads", 4usize),
+    };
+    let (handle, report) = autobias_serve::serve(&cfg)?;
+    for (file, e) in &report.errors {
+        eprintln!("warning: skipped model {file}: {e}");
+    }
+    println!(
+        "listening on http://{} ({} model(s): {})",
+        handle.addr(),
+        report.loaded.len(),
+        report.loaded.join(" ")
+    );
+    println!("POST /shutdown to stop");
+    handle.join();
+    println!("shut down cleanly");
     Ok(())
 }

@@ -135,3 +135,118 @@ fn stats_profiles_a_dataset() {
     assert!(out.contains("publication"), "stats output: {out}");
     assert!(out.contains("relation"), "stats output: {out}");
 }
+
+#[test]
+fn missing_flags_print_usage() {
+    // Every subcommand with required flags exits non-zero and shows usage.
+    for argv in [
+        vec!["learn"],
+        vec!["eval", "--data", "somewhere"],
+        vec!["predict", "--data", "somewhere"],
+        vec!["serve"],
+        vec!["serve", "--data", "somewhere"],
+    ] {
+        let (ok, _, err) = run(&argv);
+        assert!(!ok, "{argv:?} should fail");
+        assert!(err.contains("missing --"), "{argv:?} stderr: {err}");
+        assert!(err.contains("USAGE"), "{argv:?} should print usage: {err}");
+    }
+}
+
+#[test]
+fn predict_rejects_malformed_tuples() {
+    let tmp = TempDir::new("badtuple");
+    let data = tmp.path("uw");
+    let (ok, _, err) = run(&["gen", "--dataset", "uw", "--out", &data, "--seed", "4"]);
+    assert!(ok, "gen failed: {err}");
+    let model = tmp.path("m.model");
+    std::fs::write(
+        &model,
+        "advisedBy(x, y) ← publication(z, x), publication(z, y)\n",
+    )
+    .unwrap();
+
+    let (ok, _, err) = run(&[
+        "predict", "--data", &data, "--model", &model, "--args", "a,,b",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("empty field"), "stderr: {err}");
+
+    let (ok, _, err) = run(&[
+        "predict", "--data", &data, "--model", &model, "--args", "  ",
+    ]);
+    assert!(!ok);
+    assert!(err.contains("empty tuple"), "stderr: {err}");
+
+    // Whitespace around commas is fine.
+    let pos = std::fs::read_to_string(tmp.0.join("uw/pos.csv")).unwrap();
+    let first = pos.lines().next().unwrap().replace(',', " , ");
+    let (ok, out, err) = run(&[
+        "predict", "--data", &data, "--model", &model, "--args", &first,
+    ]);
+    assert!(ok, "stderr: {err}");
+    assert!(out.contains('→'), "stdout: {out}");
+}
+
+#[test]
+fn serve_smoke_over_cli() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let tmp = TempDir::new("serve");
+    let data = tmp.path("uw");
+    let (ok, _, err) = run(&["gen", "--dataset", "uw", "--out", &data, "--seed", "6"]);
+    assert!(ok, "gen failed: {err}");
+    let models = tmp.path("models");
+    std::fs::create_dir_all(&models).unwrap();
+    std::fs::write(
+        tmp.0.join("models/coauthor.model"),
+        "advisedBy(x, y) ← publication(z, x), publication(z, y)\n",
+    )
+    .unwrap();
+
+    let mut child = bin()
+        .args([
+            "serve",
+            "--data",
+            &data,
+            "--models",
+            &models,
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner:?}"))
+        .to_string();
+
+    let request = |method: &str, path: &str| -> String {
+        let mut conn = TcpStream::connect(&addr).unwrap();
+        conn.write_all(
+            format!("{method} {path} HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
+                .as_bytes(),
+        )
+        .unwrap();
+        let mut raw = String::new();
+        conn.read_to_string(&mut raw).unwrap();
+        raw
+    };
+    assert!(request("GET", "/healthz").contains("ok"));
+    assert!(request("GET", "/models").contains("coauthor"));
+    assert!(request("POST", "/shutdown").contains("shutting down"));
+
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exit: {status:?}");
+    let mut rest = String::new();
+    reader.read_to_string(&mut rest).unwrap();
+    assert!(rest.contains("shut down cleanly"), "stdout tail: {rest}");
+}

@@ -264,6 +264,7 @@ pub fn build_bottom_clause<R: Rng>(
     cfg: &BcConfig,
     rng: &mut R,
 ) -> BottomClause {
+    crate::instrument::bump(&crate::instrument::BOTTOM_CLAUSES_BUILT);
     let mut b = Builder::new(db, bias, *cfg);
     let mut frontier = b.seed(example);
     let probes = b.probe_points();

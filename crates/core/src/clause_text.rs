@@ -122,42 +122,53 @@ fn split_call(s: &str, line: usize) -> Result<(&str, Vec<&str>), ClauseParseErro
     Ok((name, args))
 }
 
-/// Parses one clause line. Constants are interned into `db`.
-pub fn parse_clause(
-    db: &mut Database,
-    text: &str,
+/// A parsed literal whose constants are still raw string tokens — the
+/// database-independent first phase shared by the interning and frozen
+/// parsers.
+struct RawLiteral<'s> {
+    rel: relstore::RelId,
+    args: Vec<RawTerm<'s>>,
+}
+
+enum RawTerm<'s> {
+    Var(u32),
+    Const(&'s str),
+}
+
+/// Parses one clause line against the catalog only (relations and arities
+/// are validated; constants stay as strings).
+fn parse_raw<'s>(
+    db: &Database,
+    text: &'s str,
     line_no: usize,
-) -> Result<Clause, ClauseParseError> {
+) -> Result<Vec<RawLiteral<'s>>, ClauseParseError> {
     let (head_text, body_text) = match text.split_once('←').or_else(|| text.split_once("<-")) {
         Some((h, b)) => (h.trim(), b.trim()),
         None => (text.trim(), ""),
     };
 
     // Split the body on commas at parenthesis depth zero.
-    let mut body_parts: Vec<String> = Vec::new();
+    let mut body_parts: Vec<&str> = Vec::new();
     if !body_text.is_empty() && body_text != "true" {
         let mut depth = 0usize;
-        let mut cur = String::new();
-        for ch in body_text.chars() {
+        let mut start = 0usize;
+        for (i, ch) in body_text.char_indices() {
             match ch {
-                '(' => {
-                    depth += 1;
-                    cur.push(ch);
+                '(' => depth += 1,
+                ')' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    body_parts.push(&body_text[start..i]);
+                    start = i + 1;
                 }
-                ')' => {
-                    depth = depth.saturating_sub(1);
-                    cur.push(ch);
-                }
-                ',' if depth == 0 => body_parts.push(std::mem::take(&mut cur)),
-                _ => cur.push(ch),
+                _ => {}
             }
         }
-        if !cur.trim().is_empty() {
-            body_parts.push(cur);
+        if !body_text[start..].trim().is_empty() {
+            body_parts.push(&body_text[start..]);
         }
     }
 
-    let parse_literal = |s: &str, db: &mut Database| -> Result<Literal, ClauseParseError> {
+    let parse_literal = |s: &'s str| -> Result<RawLiteral<'s>, ClauseParseError> {
         let (name, args) = split_call(s.trim(), line_no)?;
         let rel = db
             .rel_id(name)
@@ -174,29 +185,75 @@ pub fn parse_clause(
                 expected,
             });
         }
-        let terms: Vec<Term> = args
+        let args = args
             .iter()
             .map(|a| {
                 if is_var_token(a) {
-                    Term::Var(VarId(var_id(a)))
+                    RawTerm::Var(var_id(a))
                 } else {
-                    Term::Const(db.intern(a))
+                    RawTerm::Const(a)
                 }
             })
             .collect();
-        Ok(Literal::new(rel, terms))
+        Ok(RawLiteral { rel, args })
     };
 
-    let head = parse_literal(head_text, db)?;
-    let mut body = Vec::with_capacity(body_parts.len());
-    for p in &body_parts {
-        body.push(parse_literal(p, db)?);
+    let mut lits = Vec::with_capacity(1 + body_parts.len());
+    lits.push(parse_literal(head_text)?);
+    for p in body_parts {
+        lits.push(parse_literal(p)?);
     }
-    let mut clause = Clause::new(head, body);
+    Ok(lits)
+}
+
+/// Materializes raw literals into a normalized clause, mapping constant
+/// tokens through `resolve`.
+fn materialize(
+    raw: Vec<RawLiteral<'_>>,
+    mut resolve: impl FnMut(&str) -> relstore::Const,
+) -> Clause {
+    let mut lits = raw.into_iter().map(|l| {
+        let terms: Vec<Term> = l
+            .args
+            .iter()
+            .map(|t| match t {
+                RawTerm::Var(v) => Term::Var(VarId(*v)),
+                RawTerm::Const(s) => Term::Const(resolve(s)),
+            })
+            .collect();
+        Literal::new(l.rel, terms)
+    });
+    let head = lits.next().expect("parse_raw always yields a head");
+    let mut clause = Clause::new(head, lits.collect());
     // Renumber densely so round trips through render/parse are stable even
     // though labels skip numbers.
     normalize(&mut clause);
-    Ok(clause)
+    clause
+}
+
+/// Parses one clause line. Constants are interned into `db`.
+pub fn parse_clause(
+    db: &mut Database,
+    text: &str,
+    line_no: usize,
+) -> Result<Clause, ClauseParseError> {
+    let raw = parse_raw(db, text, line_no)?;
+    Ok(materialize(raw, |s| db.intern(s)))
+}
+
+/// Parses one clause line against a *frozen* (shared, read-only) database:
+/// constants not present in the dictionary resolve to ephemeral ids from
+/// `resolver` instead of being interned. Such constants match no database
+/// tuple, so a literal mentioning one can never be witnessed — exactly the
+/// semantics of a constant that does not occur in the data.
+pub fn parse_clause_frozen(
+    db: &Database,
+    resolver: &mut relstore::ConstResolver<'_>,
+    text: &str,
+    line_no: usize,
+) -> Result<Clause, ClauseParseError> {
+    let raw = parse_raw(db, text, line_no)?;
+    Ok(materialize(raw, |s| resolver.resolve(s)))
 }
 
 /// Renumbers variables to match the renderer's labeling scheme (head vars
@@ -236,6 +293,33 @@ pub fn parse_definition(db: &mut Database, text: &str) -> Result<Definition, Cla
         def.clauses.push(parse_clause(db, line, i + 1)?);
     }
     Ok(def)
+}
+
+/// Parses a full definition against a frozen database (no interning): one
+/// clause per line; blank lines and `#` comments ignored. Returns the
+/// definition together with the constant tokens that were not found in the
+/// dictionary (useful for warning that a model references entities absent
+/// from the data).
+pub fn parse_definition_frozen(
+    db: &Database,
+    text: &str,
+) -> Result<(Definition, Vec<String>), ClauseParseError> {
+    let mut resolver = relstore::ConstResolver::new(db.dict());
+    let mut def = Definition::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        def.clauses
+            .push(parse_clause_frozen(db, &mut resolver, line, i + 1)?);
+    }
+    let unknown = resolver
+        .unknown_strings()
+        .into_iter()
+        .map(String::from)
+        .collect();
+    Ok((def, unknown))
 }
 
 #[cfg(test)]
@@ -306,6 +390,62 @@ advisedBy(x, y) ← student(x), professor(y)";
         let rendered = def.render(&db);
         let again = parse_definition(&mut db, &rendered).unwrap();
         assert_eq!(def, again);
+    }
+
+    /// Satellite: multi-clause model file round-trips byte-identically
+    /// through parse → print → parse, including constants and reused
+    /// high-numbered variables.
+    #[test]
+    fn multi_clause_model_file_roundtrip() {
+        let mut db = setup();
+        let text = "\
+# learned model for advisedBy (3 clauses)
+advisedBy(x, y) ← publication(z, x), publication(z, y)
+advisedBy(x, y) ← student(x), professor(y), inPhase(x, post_quals)
+advisedBy(x, y) ← publication(v12, x), publication(v12, y), professor(y)";
+        let def = parse_definition(&mut db, text).unwrap();
+        assert_eq!(def.len(), 3);
+        let printed = def.render(&db);
+        let again = parse_definition(&mut db, &printed).unwrap();
+        assert_eq!(def, again, "parse → print → parse must be a fixpoint");
+        // And printing the re-parsed definition reproduces the same text.
+        assert_eq!(printed, again.render(&db));
+    }
+
+    #[test]
+    fn frozen_parse_matches_interning_parse_on_known_constants() {
+        let mut db = setup();
+        let text = "advisedBy(x, y) ← inPhase(x, post_quals), professor(y)";
+        let interned = parse_clause(&mut db, text, 1).unwrap();
+        let mut resolver = relstore::ConstResolver::new(db.dict());
+        let frozen = parse_clause_frozen(&db, &mut resolver, text, 1).unwrap();
+        assert_eq!(interned, frozen);
+        assert!(resolver.unknown_strings().is_empty());
+    }
+
+    #[test]
+    fn frozen_parse_reports_unknown_constants_without_interning() {
+        let db = setup();
+        let before = db.dict().len();
+        let (def, unknown) = parse_definition_frozen(
+            &db,
+            "advisedBy(x, y) ← inPhase(x, never_seen_phase)\nadvisedBy(x, y) ← student(x)",
+        )
+        .unwrap();
+        assert_eq!(def.len(), 2);
+        assert_eq!(unknown, vec!["never_seen_phase".to_string()]);
+        assert_eq!(db.dict().len(), before, "frozen parse must not intern");
+        // The ephemeral constant matches nothing, so the first clause can
+        // never be witnessed — but the definition still evaluates safely.
+        let target = db.rel_id("advisedBy").unwrap();
+        let juan = db.lookup("juan").unwrap();
+        let covered = crate::query::definition_covers(
+            &db,
+            &def,
+            &crate::example::Example::new(target, vec![juan, juan]),
+            &crate::query::QueryConfig::default(),
+        );
+        assert!(covered, "second clause (student(x)) should still fire");
     }
 
     #[test]

@@ -95,16 +95,30 @@ impl CoverageEngine {
     }
 }
 
+/// Worker threads used by the crate's parallel map: the `AUTOBIAS_THREADS`
+/// environment variable when set to a positive integer (clamped to ≥1, no
+/// upper bound — deliberate, so operators can oversubscribe or pin to 1 for
+/// deterministic profiling), otherwise `available_parallelism` capped at 8.
+/// Read per call so a resident server picks up changes without restart.
+pub fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("AUTOBIAS_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(8)
+}
+
 /// Maps `f` over `items` with indices, in parallel when the collection is
 /// large enough to amortize thread spawn cost.
 pub(crate) fn parallel_map<T: Sync, U: Send>(
     items: &[T],
     f: impl Fn(usize, &T) -> U + Sync,
 ) -> Vec<U> {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(8);
+    let threads = worker_threads();
     if threads <= 1 || items.len() < 16 {
         return items.iter().enumerate().map(|(i, e)| f(i, e)).collect();
     }
@@ -231,5 +245,42 @@ mode publication(-, +)
             x * 2
         });
         assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    /// `AUTOBIAS_THREADS` overrides the worker count (clamped to ≥1) and
+    /// garbage values fall back to the hardware default. The variable is
+    /// read per call, so the override applies immediately.
+    #[test]
+    fn worker_threads_honours_env_override() {
+        let default = {
+            std::env::remove_var("AUTOBIAS_THREADS");
+            worker_threads()
+        };
+        assert!((1..=8).contains(&default));
+
+        std::env::set_var("AUTOBIAS_THREADS", "3");
+        assert_eq!(worker_threads(), 3);
+        // Oversubscription is allowed.
+        std::env::set_var("AUTOBIAS_THREADS", "32");
+        assert_eq!(worker_threads(), 32);
+        // Clamped to at least one worker.
+        std::env::set_var("AUTOBIAS_THREADS", "0");
+        assert_eq!(worker_threads(), 1);
+        // Whitespace tolerated; garbage falls back to the default.
+        std::env::set_var("AUTOBIAS_THREADS", " 2 ");
+        assert_eq!(worker_threads(), 2);
+        std::env::set_var("AUTOBIAS_THREADS", "not-a-number");
+        assert_eq!(worker_threads(), default);
+        std::env::remove_var("AUTOBIAS_THREADS");
+
+        // parallel_map still works under a forced single thread…
+        std::env::set_var("AUTOBIAS_THREADS", "1");
+        let items: Vec<usize> = (0..40).collect();
+        let seq = parallel_map(&items, |_, &x| x + 1);
+        // …and under forced oversubscription.
+        std::env::set_var("AUTOBIAS_THREADS", "16");
+        let par = parallel_map(&items, |_, &x| x + 1);
+        std::env::remove_var("AUTOBIAS_THREADS");
+        assert_eq!(seq, par);
     }
 }

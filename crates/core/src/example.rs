@@ -33,6 +33,26 @@ impl Example {
     }
 }
 
+/// Splits a user-supplied comma-separated tuple (`"juan, sarita"`) into its
+/// fields, trimming whitespace around every comma. Rejects empty input and
+/// empty fields (`"a,,b"`, trailing commas) with a message naming the
+/// offending text — shared by `autobias predict` and the serve `/predict`
+/// endpoint so both report tuples identically.
+pub fn parse_arg_tuple(raw: &str) -> Result<Vec<String>, String> {
+    let raw_trimmed = raw.trim();
+    if raw_trimmed.is_empty() {
+        return Err("empty tuple: expected comma-separated constants".to_string());
+    }
+    let fields: Vec<&str> = raw_trimmed.split(',').map(str::trim).collect();
+    if let Some(pos) = fields.iter().position(|f| f.is_empty()) {
+        return Err(format!(
+            "empty field at position {} in tuple {raw_trimmed:?}",
+            pos + 1
+        ));
+    }
+    Ok(fields.into_iter().map(String::from).collect())
+}
+
 /// Positive and negative examples of one target relation.
 #[derive(Debug, Clone, Default)]
 pub struct TrainingSet {
@@ -70,6 +90,27 @@ mod tests {
         let e = Example::from_strs(&mut db, adv, &["juan", "sarita"]);
         assert_eq!(e.render(&db), "advisedBy(juan, sarita)");
         assert_eq!(e.args.len(), 2);
+    }
+
+    #[test]
+    fn parse_arg_tuple_trims_and_rejects_empties() {
+        assert_eq!(
+            parse_arg_tuple("juan,sarita").unwrap(),
+            vec!["juan", "sarita"]
+        );
+        assert_eq!(
+            parse_arg_tuple("  juan ,  sarita  ").unwrap(),
+            vec!["juan", "sarita"]
+        );
+        assert_eq!(parse_arg_tuple("solo").unwrap(), vec!["solo"]);
+        let err = parse_arg_tuple("").unwrap_err();
+        assert!(err.contains("empty tuple"), "{err}");
+        let err = parse_arg_tuple("   ").unwrap_err();
+        assert!(err.contains("empty tuple"), "{err}");
+        let err = parse_arg_tuple("a,,b").unwrap_err();
+        assert!(err.contains("position 2"), "{err}");
+        let err = parse_arg_tuple("a,b,").unwrap_err();
+        assert!(err.contains("position 3"), "{err}");
     }
 
     #[test]

@@ -182,8 +182,7 @@ pub fn learn_clause<R: Rng>(
         sample.shuffle(rng);
         sample.truncate(cfg.sample_size);
 
-        let past_deadline =
-            || cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d);
+        let past_deadline = || cfg.deadline.is_some_and(|d| std::time::Instant::now() >= d);
         let mut raw: Vec<Clause> = Vec::new();
         'gen: for (clause, _) in &beam {
             for &e in &sample {

@@ -1,0 +1,79 @@
+//! Lightweight process-wide instrumentation counters.
+//!
+//! The serving subsystem (`crates/serve`) exports these through its
+//! `/metrics` endpoint; the learner and query engine bump them on their hot
+//! paths with relaxed atomics, which costs one uncontended cache-line write
+//! per test — negligible next to a subsumption search or an SPJ query.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// θ-subsumption tests started ([`crate::subsume::theta_subsumes`]).
+pub static SUBSUMPTION_TESTS: AtomicU64 = AtomicU64::new(0);
+
+/// Direct SPJ coverage queries started ([`crate::query::clause_covers`]).
+pub static COVERAGE_QUERIES: AtomicU64 = AtomicU64::new(0);
+
+/// Bottom clauses constructed ([`crate::bottom::build_bottom_clause`]).
+pub static BOTTOM_CLAUSES_BUILT: AtomicU64 = AtomicU64::new(0);
+
+/// Bumps a counter; relaxed ordering, monotonic only.
+#[inline]
+pub(crate) fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A point-in-time reading of every core counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreCounters {
+    /// θ-subsumption tests started since process start.
+    pub subsumption_tests: u64,
+    /// Direct coverage queries started since process start.
+    pub coverage_queries: u64,
+    /// Bottom clauses constructed since process start.
+    pub bottom_clauses_built: u64,
+}
+
+/// Reads all counters (relaxed; values are monotonic but not a consistent
+/// cross-counter snapshot).
+pub fn snapshot() -> CoreCounters {
+    CoreCounters {
+        subsumption_tests: SUBSUMPTION_TESTS.load(Ordering::Relaxed),
+        coverage_queries: COVERAGE_QUERIES.load(Ordering::Relaxed),
+        bottom_clauses_built: BOTTOM_CLAUSES_BUILT.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The serving subsystem shares one `Database` and the learned
+    /// definitions across request threads behind `Arc`s; this pins the
+    /// Send + Sync bounds so a non-thread-safe field sneaking into these
+    /// types becomes a compile error here rather than a trait-bound blowup
+    /// in `crates/serve`.
+    #[test]
+    fn core_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<relstore::Database>();
+        assert_send_sync::<crate::clause::Definition>();
+        assert_send_sync::<crate::clause::Clause>();
+        assert_send_sync::<crate::bias::LanguageBias>();
+        assert_send_sync::<crate::learn::Learner>();
+        assert_send_sync::<crate::learn::LearnStats>();
+        assert_send_sync::<crate::example::TrainingSet>();
+        assert_send_sync::<crate::query::QueryConfig>();
+    }
+
+    #[test]
+    fn counters_are_monotonic() {
+        let before = snapshot();
+        bump(&SUBSUMPTION_TESTS);
+        bump(&COVERAGE_QUERIES);
+        bump(&BOTTOM_CLAUSES_BUILT);
+        let after = snapshot();
+        assert!(after.subsumption_tests > before.subsumption_tests);
+        assert!(after.coverage_queries > before.coverage_queries);
+        assert!(after.bottom_clauses_built > before.bottom_clauses_built);
+    }
+}

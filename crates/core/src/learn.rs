@@ -11,6 +11,7 @@ use crate::subsume::SubsumeConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use relstore::Database;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// The minimum criterion a clause must satisfy to enter the definition
@@ -86,6 +87,9 @@ pub struct LearnStats {
     pub uncovered_pos: usize,
     /// Whether the time budget expired before the loop finished.
     pub timed_out: bool,
+    /// Whether an external cancellation flag stopped the run early (see
+    /// [`Learner::learn_cancellable`]).
+    pub cancelled: bool,
     /// Clauses proposed by `LearnClause` that failed the minimum criterion.
     pub rejected_clauses: usize,
     /// Total ground-BC literals built (a proxy for sampling effort).
@@ -113,7 +117,29 @@ impl Learner {
         bias: &LanguageBias,
         train: &TrainingSet,
     ) -> (Definition, LearnStats) {
+        static NEVER: AtomicBool = AtomicBool::new(false);
+        self.learn_cancellable(db, bias, train, &NEVER)
+    }
+
+    /// [`Learner::learn`] with cooperative cancellation: `cancel` is polled
+    /// before the (expensive) ground-BC build and once per covering-loop
+    /// iteration. When it reads `true`, the loop stops and the definition
+    /// learned so far is returned with `stats.cancelled` set. This is what
+    /// lets a resident server abort background learning jobs without killing
+    /// the process.
+    pub fn learn_cancellable(
+        &self,
+        db: &Database,
+        bias: &LanguageBias,
+        train: &TrainingSet,
+        cancel: &AtomicBool,
+    ) -> (Definition, LearnStats) {
         let mut stats = LearnStats::default();
+        if cancel.load(Ordering::Relaxed) {
+            stats.cancelled = true;
+            stats.uncovered_pos = train.pos.len();
+            return (Definition::new(), stats);
+        }
         let t0 = Instant::now();
         let engine = CoverageEngine::build(
             db,
@@ -134,6 +160,10 @@ impl Learner {
         let mut definition = Definition::new();
 
         while !uncovered.is_empty() && definition.len() < self.cfg.max_clauses {
+            if cancel.load(Ordering::Relaxed) {
+                stats.cancelled = true;
+                break;
+            }
             if let Some(d) = deadline {
                 if Instant::now() >= d {
                     stats.timed_out = true;
@@ -479,5 +509,48 @@ mode r(-, +)
         };
         let (_, stats) = Learner::new(cfg).learn(&db, &bias, &TrainingSet::new(pos, vec![]));
         assert!(stats.timed_out);
+    }
+
+    /// A pre-set cancellation flag stops the run before any work happens;
+    /// an unset flag leaves results identical to plain `learn`.
+    #[test]
+    fn cancellation_flag_is_honoured() {
+        use std::sync::atomic::AtomicBool;
+
+        let mut db = Database::new();
+        let r = db.add_relation("r", &["a", "b"]);
+        let target = db.add_relation("t", &["a"]);
+        let mut pos = Vec::new();
+        for i in 0..10 {
+            db.insert(r, &[&format!("x{i}"), &format!("x{}", (i + 1) % 10)]);
+            let c = db.lookup(&format!("x{i}")).unwrap();
+            pos.push(Example::new(target, vec![c]));
+        }
+        db.build_indexes();
+        let bias = parse_bias(
+            &db,
+            target,
+            "
+pred r(TA, TA)
+pred t(TA)
+mode r(+, -)
+mode r(-, +)
+",
+        )
+        .unwrap();
+        let train = TrainingSet::new(pos, vec![]);
+        let learner = Learner::default();
+
+        let cancelled = AtomicBool::new(true);
+        let (def, stats) = learner.learn_cancellable(&db, &bias, &train, &cancelled);
+        assert!(stats.cancelled);
+        assert!(def.is_empty());
+        assert_eq!(stats.uncovered_pos, train.pos.len());
+
+        let live = AtomicBool::new(false);
+        let (def_live, stats_live) = learner.learn_cancellable(&db, &bias, &train, &live);
+        let (def_plain, _) = learner.learn(&db, &bias, &train);
+        assert!(!stats_live.cancelled);
+        assert_eq!(def_live, def_plain, "unset flag must not change results");
     }
 }

@@ -60,6 +60,7 @@ pub mod coverage;
 pub mod eval;
 pub mod example;
 pub mod generalize;
+pub mod instrument;
 pub mod learn;
 pub mod query;
 pub mod semijoin_tree;
@@ -77,10 +78,13 @@ pub mod prelude {
         build_bottom_clause, BcConfig, BottomClause, GroundClause, GroundLiteral, SamplingStrategy,
     };
     pub use crate::clause::{Clause, Definition, Literal, Term, VarId};
-    pub use crate::clause_text::{parse_clause, parse_definition, ClauseParseError};
-    pub use crate::coverage::CoverageEngine;
+    pub use crate::clause_text::{
+        parse_clause, parse_clause_frozen, parse_definition, parse_definition_frozen,
+        ClauseParseError,
+    };
+    pub use crate::coverage::{worker_threads, CoverageEngine};
     pub use crate::eval::{cross_validate, evaluate_definition, kfold_splits, CvResult, Metrics};
-    pub use crate::example::{Example, TrainingSet};
+    pub use crate::example::{parse_arg_tuple, Example, TrainingSet};
     pub use crate::generalize::{armg, learn_clause, reduce_clause, GenConfig};
     pub use crate::learn::{LearnStats, Learner, LearnerConfig, MinCriterion};
     pub use crate::query::{clause_covers, definition_covers, QueryConfig};

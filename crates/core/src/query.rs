@@ -34,6 +34,7 @@ impl Default for QueryConfig {
 /// binds the head to the example's constants and searches for body tuples
 /// witnessing all joins (`I ∧ C ⊨ e`).
 pub fn clause_covers(db: &Database, clause: &Clause, example: &Example, cfg: &QueryConfig) -> bool {
+    crate::instrument::bump(&crate::instrument::COVERAGE_QUERIES);
     if clause.head.rel != example.rel || clause.head.args.len() != example.args.len() {
         return false;
     }

@@ -86,6 +86,83 @@ impl Dictionary {
     }
 }
 
+/// Read-only string → [`Const`] resolution over a frozen [`Dictionary`],
+/// assigning *ephemeral* ids (beyond the dictionary's range) to strings the
+/// dictionary has never seen.
+///
+/// This is the substrate for serving: a resident process shares one immutable
+/// `Database` across request threads, yet requests may mention constants that
+/// do not occur in the data. An ephemeral id equals no interned constant and
+/// no other distinct ephemeral string, so equality-based evaluation (joins,
+/// subsumption, index probes) treats the unknown value exactly as a fresh
+/// constant — without mutating the dictionary.
+///
+/// Ephemeral ids are only meaningful relative to the resolver that created
+/// them (and must not outlive its dictionary's current length): do not store
+/// them in the database.
+#[derive(Debug)]
+pub struct ConstResolver<'d> {
+    dict: &'d Dictionary,
+    ephemeral: crate::fxhash::FxHashMap<Box<str>, Const>,
+}
+
+impl<'d> ConstResolver<'d> {
+    /// Creates a resolver over `dict`.
+    pub fn new(dict: &'d Dictionary) -> Self {
+        Self {
+            dict,
+            ephemeral: Default::default(),
+        }
+    }
+
+    /// Resolves `s` to its interned id, or to a stable ephemeral id if the
+    /// dictionary does not contain it.
+    pub fn resolve(&mut self, s: &str) -> Const {
+        if let Some(c) = self.dict.lookup(s) {
+            return c;
+        }
+        if let Some(&c) = self.ephemeral.get(s) {
+            return c;
+        }
+        let id = Const(
+            u32::try_from(self.dict.len() + self.ephemeral.len())
+                .expect("dictionary overflow: >4G constants"),
+        );
+        self.ephemeral.insert(s.into(), id);
+        id
+    }
+
+    /// Whether `c` is an ephemeral id produced by this resolver (as opposed
+    /// to a constant interned in the underlying dictionary).
+    pub fn is_ephemeral(&self, c: Const) -> bool {
+        c.index() >= self.dict.len()
+    }
+
+    /// The strings that resolved to ephemeral ids, in first-seen order.
+    pub fn unknown_strings(&self) -> Vec<&str> {
+        let mut pairs: Vec<(&str, Const)> = self
+            .ephemeral
+            .iter()
+            .map(|(s, &c)| (s.as_ref(), c))
+            .collect();
+        pairs.sort_by_key(|&(_, c)| c);
+        pairs.into_iter().map(|(s, _)| s).collect()
+    }
+
+    /// Renders `c` back to a string: the dictionary name for interned ids,
+    /// the original request string for ephemeral ids.
+    pub fn name(&self, c: Const) -> &str {
+        if c.index() < self.dict.len() {
+            return self.dict.name(c);
+        }
+        self.ephemeral
+            .iter()
+            .find(|(_, &e)| e == c)
+            .map(|(s, _)| s.as_ref())
+            .expect("ephemeral id not produced by this resolver")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +193,29 @@ mod tests {
         assert_eq!(d.len(), 0);
         let c = d.intern("present");
         assert_eq!(d.lookup("present"), Some(c));
+    }
+
+    #[test]
+    fn resolver_reuses_interned_and_assigns_fresh_ephemerals() {
+        let mut d = Dictionary::new();
+        let juan = d.intern("juan");
+        let sarita = d.intern("sarita");
+        let mut r = ConstResolver::new(&d);
+        assert_eq!(r.resolve("juan"), juan);
+        assert!(!r.is_ephemeral(juan));
+        let ghost = r.resolve("ghost");
+        assert!(r.is_ephemeral(ghost));
+        assert_eq!(ghost.index(), d.len());
+        // Stable per string, distinct across strings, disjoint from interned.
+        assert_eq!(r.resolve("ghost"), ghost);
+        let ghost2 = r.resolve("ghost2");
+        assert_ne!(ghost2, ghost);
+        assert_ne!(ghost2, sarita);
+        assert_eq!(r.unknown_strings(), vec!["ghost", "ghost2"]);
+        assert_eq!(r.name(ghost), "ghost");
+        assert_eq!(r.name(juan), "juan");
+        // The dictionary itself was never touched.
+        assert_eq!(d.len(), 2);
     }
 
     #[test]

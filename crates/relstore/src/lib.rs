@@ -35,7 +35,7 @@ pub mod schema;
 pub mod transform;
 
 pub use database::Database;
-pub use dict::{Const, Dictionary};
+pub use dict::{Const, ConstResolver, Dictionary};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use relation::{AttrIndex, Relation, Tuple, TupleId};
 pub use schema::{AttrRef, Catalog, RelId, RelationSchema};

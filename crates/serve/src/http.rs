@@ -1,0 +1,188 @@
+//! A deliberately small HTTP/1.1 layer: enough to parse one request from a
+//! `TcpStream` and write one response, nothing more. The server speaks
+//! `Connection: close` (one request per connection) and `text/plain` bodies
+//! only, which keeps the whole protocol auditable and dependency-free — the
+//! same idiom as the rest of the workspace.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted header block.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Path component only (query strings are not used by this API).
+    pub path: String,
+    /// Decoded body (empty when absent).
+    pub body: String,
+}
+
+/// Protocol-level failures while reading a request.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket error or premature close.
+    Io(io::Error),
+    /// Malformed request line / headers / body.
+    Bad(String),
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "i/o: {e}"),
+            HttpError::Bad(m) => write!(f, "bad request: {m}"),
+        }
+    }
+}
+
+/// Reads one request from `stream`.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    let mut line = String::new();
+
+    // Request line + headers, terminated by an empty line.
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(HttpError::Bad("connection closed mid-headers".into()));
+        }
+        head.push_str(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::Bad("header block too large".into()));
+        }
+        if line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::Bad("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Bad("missing method".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Bad("missing request target".into()))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for h in lines {
+        if h.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = h.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Bad("unparsable Content-Length".into()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::Bad(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        )));
+    }
+
+    let mut body_bytes = vec![0u8; content_length];
+    reader.read_exact(&mut body_bytes)?;
+    let body = String::from_utf8(body_bytes)
+        .map_err(|_| HttpError::Bad("body is not valid UTF-8".into()))?;
+
+    Ok(Request { method, path, body })
+}
+
+/// Writes one `text/plain` response and flushes.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\
+         \r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn roundtrip(raw: &str) -> Result<Request, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_string();
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(raw.as_bytes()).unwrap();
+            s.flush().unwrap();
+            // Keep the stream open until the server has parsed it.
+            let mut buf = Vec::new();
+            let _ = s.read_to_end(&mut buf);
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        let req = read_request(&mut conn);
+        drop(conn);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_get_without_body() {
+        let req = roundtrip("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn parses_post_with_content_length_body() {
+        let req =
+            roundtrip("POST /predict HTTP/1.1\r\nContent-Length: 11\r\n\r\nmodel m\na,b").unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/predict");
+        assert_eq!(req.body, "model m\na,b");
+    }
+
+    #[test]
+    fn strips_query_string_from_path() {
+        let req = roundtrip("GET /models?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/models");
+    }
+
+    #[test]
+    fn rejects_oversized_declared_body() {
+        let err =
+            roundtrip("POST /predict HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::Bad(_)));
+    }
+}

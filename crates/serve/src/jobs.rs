@@ -1,0 +1,485 @@
+//! Background learning jobs: a `POST /jobs/learn` request returns
+//! immediately with a job id; the learning run happens on its own thread
+//! against the shared read-only [`relstore::Database`], and clients poll
+//! `GET /jobs/{id}` for status. Cancellation is cooperative — the flag is
+//! polled by [`autobias::learn::Learner::learn_cancellable`] once per
+//! covering-loop iteration, so a cancelled job still returns the clauses
+//! accepted so far.
+
+use crate::registry::{ModelEntry, ModelRegistry};
+use autobias::bias::auto::{induce_bias, AutoBiasConfig};
+use autobias::bottom::{BcConfig, SamplingStrategy};
+use autobias::example::TrainingSet;
+use autobias::learn::{Learner, LearnerConfig};
+use datasets::Dataset;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// What to learn and how; parsed from the request body (`key value` lines).
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Registry name for the learned model (default `job-<id>`).
+    pub model_name: Option<String>,
+    /// `auto` (induced from constraints) or `manual` (the dataset's expert
+    /// bias file).
+    pub bias: BiasChoice,
+    /// Bottom-clause sampling strategy.
+    pub sampling: SamplingStrategy,
+    /// Bottom-clause depth.
+    pub depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Cap on learned clauses.
+    pub max_clauses: usize,
+    /// Post-reduce learned clauses for readability.
+    pub reduce: bool,
+}
+
+/// Which language bias the job uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BiasChoice {
+    /// Induce the bias from database constraints (the paper's AutoBias).
+    Auto,
+    /// Use the dataset's expert-written bias.
+    Manual,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self {
+            model_name: None,
+            bias: BiasChoice::Auto,
+            sampling: SamplingStrategy::Naive { per_selection: 20 },
+            depth: 2,
+            seed: 7,
+            max_clauses: LearnerConfig::default().max_clauses,
+            reduce: true,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parses `key value` lines (blank lines and `#` comments ignored).
+    /// An empty body yields the default spec.
+    pub fn parse(body: &str) -> Result<Self, String> {
+        let mut spec = Self::default();
+        let mut sample_size = 20usize;
+        let mut sampling_word = "naive".to_string();
+        for line in body.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once(char::is_whitespace)
+                .map(|(k, v)| (k, v.trim()))
+                .ok_or_else(|| format!("expected `key value`, got {line:?}"))?;
+            match key {
+                "name" => spec.model_name = Some(value.to_string()),
+                "bias" => {
+                    spec.bias = match value {
+                        "auto" => BiasChoice::Auto,
+                        "manual" => BiasChoice::Manual,
+                        other => return Err(format!("unknown bias {other:?} (auto|manual)")),
+                    }
+                }
+                "sampling" => sampling_word = value.to_string(),
+                "sample-size" => {
+                    sample_size = value
+                        .parse()
+                        .map_err(|_| format!("bad sample-size {value:?}"))?;
+                }
+                "depth" => {
+                    spec.depth = value.parse().map_err(|_| format!("bad depth {value:?}"))?;
+                }
+                "seed" => {
+                    spec.seed = value.parse().map_err(|_| format!("bad seed {value:?}"))?;
+                }
+                "max-clauses" => {
+                    spec.max_clauses = value
+                        .parse()
+                        .map_err(|_| format!("bad max-clauses {value:?}"))?;
+                }
+                "reduce" => {
+                    spec.reduce = value
+                        .parse()
+                        .map_err(|_| format!("bad reduce {value:?} (true|false)"))?;
+                }
+                other => return Err(format!("unknown job option {other:?}")),
+            }
+        }
+        spec.sampling = match sampling_word.as_str() {
+            "naive" => SamplingStrategy::Naive {
+                per_selection: sample_size,
+            },
+            "random" => SamplingStrategy::Random {
+                per_selection: sample_size,
+                oversample: 10,
+            },
+            "stratified" => SamplingStrategy::Stratified { per_stratum: 2 },
+            "full" => SamplingStrategy::Full,
+            other => {
+                return Err(format!(
+                    "unknown sampling {other:?} (naive|random|stratified|full)"
+                ))
+            }
+        };
+        Ok(spec)
+    }
+}
+
+/// Lifecycle of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, thread not yet running.
+    Queued,
+    /// Learning in progress.
+    Running,
+    /// Finished; the model is in the registry.
+    Done,
+    /// Stopped by `POST /jobs/{id}/cancel`; partial clauses (if any) are
+    /// still registered.
+    Cancelled,
+    /// Bias construction or learning failed.
+    Failed,
+}
+
+impl JobState {
+    /// Lowercase wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the job can make no further progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Cancelled | JobState::Failed
+        )
+    }
+}
+
+/// Mutable job status, read by pollers.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Human-readable detail (error message, completion summary).
+    pub detail: String,
+    /// Clauses in the learned definition so far.
+    pub clauses: usize,
+    /// Positives left uncovered when learning stopped.
+    pub uncovered_pos: usize,
+    /// Wall-clock seconds once terminal.
+    pub elapsed_secs: Option<f64>,
+}
+
+/// One background learning job.
+pub struct Job {
+    /// Job id, unique per server.
+    pub id: u64,
+    /// Name the learned model is registered under.
+    pub model_name: String,
+    status: Mutex<JobStatus>,
+    cancel: AtomicBool,
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Job {
+    /// Snapshot of the current status.
+    pub fn status(&self) -> JobStatus {
+        self.status.lock().expect("job lock poisoned").clone()
+    }
+
+    /// Requests cooperative cancellation.
+    pub fn cancel(&self) {
+        self.cancel.store(true, Ordering::Relaxed);
+    }
+
+    /// Blocks until the job's thread finishes, without requesting
+    /// cancellation. Idempotent; later joins (including [`JobManager::shutdown`])
+    /// see the handle already taken and return immediately.
+    pub fn wait(&self) {
+        let handle = self.handle.lock().expect("job lock poisoned").take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+
+    fn set_status(&self, f: impl FnOnce(&mut JobStatus)) {
+        f(&mut self.status.lock().expect("job lock poisoned"));
+    }
+}
+
+/// Owns all jobs of one server.
+#[derive(Default)]
+pub struct JobManager {
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<u64, Arc<Job>>>,
+}
+
+impl JobManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawns a learning job over the shared dataset; the learned model is
+    /// written to the registry's directory and inserted into the registry.
+    pub fn spawn_learn(
+        &self,
+        spec: JobSpec,
+        ds: Arc<Dataset>,
+        registry: Arc<ModelRegistry>,
+    ) -> Arc<Job> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let model_name = spec
+            .model_name
+            .clone()
+            .unwrap_or_else(|| format!("job-{id}"));
+        let job = Arc::new(Job {
+            id,
+            model_name: model_name.clone(),
+            status: Mutex::new(JobStatus {
+                state: JobState::Queued,
+                detail: String::new(),
+                clauses: 0,
+                uncovered_pos: 0,
+                elapsed_secs: None,
+            }),
+            cancel: AtomicBool::new(false),
+            handle: Mutex::new(None),
+        });
+        self.jobs
+            .lock()
+            .expect("jobs lock poisoned")
+            .insert(id, job.clone());
+
+        let worker_job = job.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("learn-job-{id}"))
+            .spawn(move || {
+                let t0 = Instant::now();
+                worker_job.set_status(|s| s.state = JobState::Running);
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    run_learn(&worker_job, &spec, &ds, &registry)
+                }));
+                let elapsed = t0.elapsed().as_secs_f64();
+                match result {
+                    Ok(Ok(outcome)) => worker_job.set_status(|s| {
+                        s.state = outcome.state;
+                        s.detail = outcome.detail;
+                        s.clauses = outcome.clauses;
+                        s.uncovered_pos = outcome.uncovered_pos;
+                        s.elapsed_secs = Some(elapsed);
+                    }),
+                    Ok(Err(msg)) => worker_job.set_status(|s| {
+                        s.state = JobState::Failed;
+                        s.detail = msg;
+                        s.elapsed_secs = Some(elapsed);
+                    }),
+                    Err(_) => worker_job.set_status(|s| {
+                        s.state = JobState::Failed;
+                        s.detail = "learning thread panicked".to_string();
+                        s.elapsed_secs = Some(elapsed);
+                    }),
+                }
+            })
+            .expect("spawning a job thread");
+        *job.handle.lock().expect("job lock poisoned") = Some(handle);
+        job
+    }
+
+    /// Looks up a job.
+    pub fn get(&self, id: u64) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("jobs lock poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// All jobs, sorted by id.
+    pub fn list(&self) -> Vec<Arc<Job>> {
+        let mut all: Vec<Arc<Job>> = self
+            .jobs
+            .lock()
+            .expect("jobs lock poisoned")
+            .values()
+            .cloned()
+            .collect();
+        all.sort_by_key(|j| j.id);
+        all
+    }
+
+    /// Number of jobs not yet terminal.
+    pub fn running_count(&self) -> u64 {
+        self.list()
+            .iter()
+            .filter(|j| !j.status().state.is_terminal())
+            .count() as u64
+    }
+
+    /// Cancels every job and joins all worker threads. Called once during
+    /// graceful shutdown; jobs finish as `Cancelled` (or `Done` if they
+    /// complete before noticing the flag).
+    pub fn shutdown(&self) {
+        let jobs = self.list();
+        for job in &jobs {
+            job.cancel();
+        }
+        for job in jobs {
+            let handle = job.handle.lock().expect("job lock poisoned").take();
+            if let Some(h) = handle {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+struct LearnOutcome {
+    state: JobState,
+    detail: String,
+    clauses: usize,
+    uncovered_pos: usize,
+}
+
+fn run_learn(
+    job: &Job,
+    spec: &JobSpec,
+    ds: &Dataset,
+    registry: &ModelRegistry,
+) -> Result<LearnOutcome, String> {
+    let bias = match spec.bias {
+        BiasChoice::Auto => {
+            let (bias, _, _) = induce_bias(&ds.db, ds.target, &AutoBiasConfig::default())
+                .map_err(|e| format!("bias induction: {e}"))?;
+            bias
+        }
+        BiasChoice::Manual => ds.manual_bias().map_err(|e| format!("manual bias: {e}"))?,
+    };
+    let cfg = LearnerConfig {
+        bc: BcConfig {
+            depth: spec.depth,
+            strategy: spec.sampling,
+            ..BcConfig::default()
+        },
+        seed: spec.seed,
+        max_clauses: spec.max_clauses,
+        reduce_clauses: spec.reduce,
+        ..LearnerConfig::default()
+    };
+    let train = TrainingSet::new(ds.pos.clone(), ds.neg.clone());
+    let (def, stats) = Learner::new(cfg).learn_cancellable(&ds.db, &bias, &train, &job.cancel);
+
+    let clauses = def.len();
+    let uncovered_pos = stats.uncovered_pos;
+    let text = def.render(&ds.db);
+    let path = registry.dir().join(format!("{}.model", job.model_name));
+    // Persist before registering so a restart reloads the same model; a
+    // cancelled job's partial definition is still a valid (weaker) model.
+    std::fs::write(&path, format!("{text}\n")).map_err(|e| format!("{}: {e}", path.display()))?;
+    registry.insert(ModelEntry {
+        name: job.model_name.clone(),
+        definition: def,
+        unknown_constants: vec![],
+        source: Some(path),
+    });
+
+    let state = if stats.cancelled {
+        JobState::Cancelled
+    } else {
+        JobState::Done
+    };
+    Ok(LearnOutcome {
+        state,
+        detail: format!(
+            "{clauses} clause(s), {uncovered_pos} uncovered positive(s), bc {:?}, search {:?}",
+            stats.bc_time, stats.search_time
+        ),
+        clauses,
+        uncovered_pos,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_options_and_rejects_garbage() {
+        let spec = JobSpec::parse("").unwrap();
+        assert!(spec.model_name.is_none());
+        assert_eq!(spec.bias, BiasChoice::Auto);
+
+        let spec = JobSpec::parse(
+            "name mymodel\nbias manual\nsampling full\ndepth 3\nseed 42\nmax-clauses 5\nreduce false\n",
+        )
+        .unwrap();
+        assert_eq!(spec.model_name.as_deref(), Some("mymodel"));
+        assert_eq!(spec.bias, BiasChoice::Manual);
+        assert!(matches!(spec.sampling, SamplingStrategy::Full));
+        assert_eq!(spec.depth, 3);
+        assert_eq!(spec.seed, 42);
+        assert_eq!(spec.max_clauses, 5);
+        assert!(!spec.reduce);
+
+        assert!(JobSpec::parse("bias nonsense").is_err());
+        assert!(JobSpec::parse("sampling nonsense").is_err());
+        assert!(JobSpec::parse("frobnicate 9").is_err());
+        assert!(JobSpec::parse("justakey").is_err());
+    }
+
+    #[test]
+    fn job_runs_to_done_and_registers_model() {
+        let ds = Arc::new(datasets::uw::generate(
+            &datasets::uw::UwConfig {
+                students: 20,
+                professors: 8,
+                courses: 10,
+                advised_pairs: 10,
+                negatives: 20,
+                evidence_prob: 1.0,
+                ..datasets::uw::UwConfig::default()
+            },
+            3,
+        ));
+        let dir = std::env::temp_dir().join(format!("autobias_jobs_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (registry, _) = ModelRegistry::open(&ds.db, &dir).unwrap();
+        let registry = Arc::new(registry);
+
+        let mgr = JobManager::new();
+        let spec = JobSpec::parse("name learned\nbias manual\n").unwrap();
+        let job = mgr.spawn_learn(spec, ds.clone(), registry.clone());
+        job.wait();
+        let status = job.status();
+        assert_eq!(status.state, JobState::Done, "{}", status.detail);
+        assert!(status.clauses > 0);
+        assert!(registry.get("learned").is_some());
+        assert!(dir.join("learned.model").exists());
+
+        // A pre-cancelled job terminates as cancelled with an empty model.
+        let spec = JobSpec::parse("name cancelled-model\nbias manual\n").unwrap();
+        let job2 = mgr.spawn_learn(spec, ds, registry.clone());
+        job2.cancel();
+        mgr.shutdown();
+        let status = job2.status();
+        assert!(
+            status.state.is_terminal(),
+            "cancelled job must terminate, got {:?}",
+            status.state
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

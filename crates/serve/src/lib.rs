@@ -1,0 +1,35 @@
+//! # autobias-serve — a resident prediction and learning server
+//!
+//! The batch CLI pays the dominant cost — loading the dataset and building
+//! indexes — on every invocation. This crate keeps one immutable
+//! [`relstore::Database`] resident and serves predictions, model management,
+//! and background learning jobs over a small plain-text HTTP/1.1 API
+//! (`autobias serve --data DIR --models DIR`).
+//!
+//! Design constraints, in keeping with the rest of the workspace:
+//!
+//! - **No async runtime, no HTTP framework.** A `TcpListener` accept loop
+//!   feeds a bounded thread pool ([`pool`]); the protocol layer ([`http`])
+//!   parses exactly the subset of HTTP/1.1 the API needs.
+//! - **The database is never written after load.** Model files may mention
+//!   constants absent from the data; they resolve to ephemeral ids via
+//!   [`relstore::ConstResolver`] instead of interning ([`registry`]).
+//! - **Models swap atomically.** The registry replaces an `Arc`'d map on
+//!   reload; in-flight requests keep the snapshot they started with.
+//! - **Jobs are cancellable.** Learning runs on dedicated threads polling a
+//!   cancellation flag through
+//!   [`autobias::learn::Learner::learn_cancellable`] ([`jobs`]).
+//! - **Observable.** `GET /metrics` exports request counters, latency
+//!   histograms, and the core engine's subsumption/coverage/bottom-clause
+//!   counters in the Prometheus text format ([`metrics`]).
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod jobs;
+pub mod metrics;
+pub mod pool;
+pub mod registry;
+pub mod server;
+
+pub use server::{serve, ServeConfig, ServerHandle};

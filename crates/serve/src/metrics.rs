@@ -1,0 +1,193 @@
+//! Request metrics in the Prometheus text exposition format.
+//!
+//! Everything is lock-free: per-endpoint request counters and fixed-bucket
+//! latency histograms are relaxed atomics, bumped on the request path and
+//! read (without a consistent snapshot — Prometheus semantics) by
+//! `GET /metrics`. Core-engine counters from [`autobias::instrument`] are
+//! re-exported under `autobias_core_*` so one scrape shows both the HTTP
+//! traffic and the learning/inference work it caused.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The endpoints we track. `Other` buckets everything unrecognized so the
+/// label set stays bounded no matter what clients send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `GET`/`POST /models`
+    Models,
+    /// `POST /predict`
+    Predict,
+    /// `POST /jobs/learn`, `GET /jobs/*`, `POST /jobs/*/cancel`
+    Jobs,
+    /// `POST /shutdown`
+    Shutdown,
+    /// Anything else (404s, parse failures).
+    Other,
+}
+
+const ENDPOINTS: [(Endpoint, &str); 7] = [
+    (Endpoint::Healthz, "healthz"),
+    (Endpoint::Metrics, "metrics"),
+    (Endpoint::Models, "models"),
+    (Endpoint::Predict, "predict"),
+    (Endpoint::Jobs, "jobs"),
+    (Endpoint::Shutdown, "shutdown"),
+    (Endpoint::Other, "other"),
+];
+
+/// Histogram bucket upper bounds, in seconds. Chosen to straddle the two
+/// regimes this server sees: sub-millisecond index probes and multi-second
+/// learning-job submissions.
+const BUCKETS: [f64; 8] = [0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, f64::INFINITY];
+
+#[derive(Default)]
+struct EndpointStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    bucket_counts: [AtomicU64; BUCKETS.len()],
+    sum_micros: AtomicU64,
+}
+
+/// Process-lifetime request metrics; one instance per server.
+#[derive(Default)]
+pub struct Metrics {
+    stats: [EndpointStats; ENDPOINTS.len()],
+}
+
+impl Metrics {
+    /// Creates a zeroed metrics table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn idx(endpoint: Endpoint) -> usize {
+        ENDPOINTS
+            .iter()
+            .position(|&(e, _)| e == endpoint)
+            .expect("every endpoint is in the table")
+    }
+
+    /// Records one finished request.
+    pub fn observe(&self, endpoint: Endpoint, latency: Duration, is_error: bool) {
+        let s = &self.stats[Self::idx(endpoint)];
+        s.requests.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            s.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let secs = latency.as_secs_f64();
+        for (i, &le) in BUCKETS.iter().enumerate() {
+            if secs <= le {
+                s.bucket_counts[i].fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        s.sum_micros
+            .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Total requests seen on one endpoint.
+    pub fn requests(&self, endpoint: Endpoint) -> u64 {
+        self.stats[Self::idx(endpoint)]
+            .requests
+            .load(Ordering::Relaxed)
+    }
+
+    /// Renders the Prometheus text format. `gauges` supplies point-in-time
+    /// values owned by other subsystems (loaded models, running jobs).
+    pub fn render(&self, gauges: &[(&str, u64)]) -> String {
+        let mut out = String::with_capacity(4096);
+
+        out.push_str("# HELP autobias_requests_total Requests handled, by endpoint.\n");
+        out.push_str("# TYPE autobias_requests_total counter\n");
+        for (i, &(_, name)) in ENDPOINTS.iter().enumerate() {
+            let n = self.stats[i].requests.load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "autobias_requests_total{{endpoint=\"{name}\"}} {n}\n"
+            ));
+        }
+
+        out.push_str("# HELP autobias_request_errors_total Non-2xx responses, by endpoint.\n");
+        out.push_str("# TYPE autobias_request_errors_total counter\n");
+        for (i, &(_, name)) in ENDPOINTS.iter().enumerate() {
+            let n = self.stats[i].errors.load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "autobias_request_errors_total{{endpoint=\"{name}\"}} {n}\n"
+            ));
+        }
+
+        out.push_str(
+            "# HELP autobias_request_duration_seconds Request latency, by endpoint.\n\
+             # TYPE autobias_request_duration_seconds histogram\n",
+        );
+        for (i, &(_, name)) in ENDPOINTS.iter().enumerate() {
+            let s = &self.stats[i];
+            let mut cumulative = 0u64;
+            for (bi, &le) in BUCKETS.iter().enumerate() {
+                cumulative += s.bucket_counts[bi].load(Ordering::Relaxed);
+                let le = if le.is_infinite() {
+                    "+Inf".to_string()
+                } else {
+                    format!("{le}")
+                };
+                out.push_str(&format!(
+                    "autobias_request_duration_seconds_bucket{{endpoint=\"{name}\",le=\"{le}\"}} {cumulative}\n"
+                ));
+            }
+            let sum = s.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
+            let count = s.requests.load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "autobias_request_duration_seconds_sum{{endpoint=\"{name}\"}} {sum}\n\
+                 autobias_request_duration_seconds_count{{endpoint=\"{name}\"}} {count}\n"
+            ));
+        }
+
+        let core = autobias::instrument::snapshot();
+        out.push_str(&format!(
+            "# HELP autobias_core_subsumption_tests_total Theta-subsumption tests started.\n\
+             # TYPE autobias_core_subsumption_tests_total counter\n\
+             autobias_core_subsumption_tests_total {}\n\
+             # HELP autobias_core_coverage_queries_total Direct SPJ coverage queries started.\n\
+             # TYPE autobias_core_coverage_queries_total counter\n\
+             autobias_core_coverage_queries_total {}\n\
+             # HELP autobias_core_bottom_clauses_total Bottom clauses constructed.\n\
+             # TYPE autobias_core_bottom_clauses_total counter\n\
+             autobias_core_bottom_clauses_total {}\n",
+            core.subsumption_tests, core.coverage_queries, core.bottom_clauses_built
+        ));
+
+        for &(name, value) in gauges {
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_counts_and_buckets() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Predict, Duration::from_micros(500), false);
+        m.observe(Endpoint::Predict, Duration::from_millis(50), true);
+        assert_eq!(m.requests(Endpoint::Predict), 2);
+        let text = m.render(&[("autobias_models_loaded", 3)]);
+        assert!(text.contains("autobias_requests_total{endpoint=\"predict\"} 2"));
+        assert!(text.contains("autobias_request_errors_total{endpoint=\"predict\"} 1"));
+        // 500µs lands in the 0.001 bucket; cumulative counts reach 2 at +Inf.
+        assert!(text.contains(
+            "autobias_request_duration_seconds_bucket{endpoint=\"predict\",le=\"0.001\"} 1"
+        ));
+        assert!(text.contains(
+            "autobias_request_duration_seconds_bucket{endpoint=\"predict\",le=\"+Inf\"} 2"
+        ));
+        assert!(text.contains("autobias_models_loaded 3"));
+        assert!(text.contains("autobias_core_subsumption_tests_total"));
+    }
+}

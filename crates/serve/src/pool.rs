@@ -1,0 +1,130 @@
+//! A bounded worker thread pool for connection handling.
+//!
+//! The accept loop hands each connection to the pool over a
+//! [`std::sync::mpsc::sync_channel`]; when all workers are busy and the
+//! queue is full, [`WorkerPool::dispatch`] returns the connection instead of
+//! blocking, so the accept loop can shed load with a `503` rather than let
+//! the backlog grow unboundedly. Dropping the sender during shutdown lets
+//! every worker drain its queue and exit — in-flight requests complete.
+
+use std::net::TcpStream;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Fixed-size pool of connection-handling threads.
+pub struct WorkerPool {
+    sender: Option<SyncSender<TcpStream>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers sharing one queue of `queue_capacity`
+    /// pending connections; each connection is passed to `handler`.
+    pub fn new(
+        threads: usize,
+        queue_capacity: usize,
+        handler: Arc<dyn Fn(TcpStream) + Send + Sync>,
+    ) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = sync_channel::<TcpStream>(queue_capacity);
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let receiver: Arc<Mutex<Receiver<TcpStream>>> = receiver.clone();
+                let handler = handler.clone();
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only to dequeue; recv errors mean the
+                        // sender is gone and the queue is drained — exit.
+                        let conn = match receiver.lock().expect("pool lock poisoned").recv() {
+                            Ok(c) => c,
+                            Err(_) => break,
+                        };
+                        handler(conn);
+                    })
+                    .expect("spawning a pool worker")
+            })
+            .collect();
+        Self {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Queues a connection. Returns the connection back when the pool is
+    /// saturated (queue full) or shutting down.
+    pub fn dispatch(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        match &self.sender {
+            Some(s) => match s.try_send(conn) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(c)) | Err(TrySendError::Disconnected(c)) => Err(c),
+            },
+            None => Err(conn),
+        }
+    }
+
+    /// Stops accepting new work and joins every worker after it drains the
+    /// queue. In-flight requests finish.
+    pub fn shutdown(&mut self) {
+        self.sender.take();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn pool_handles_connections_and_drains_on_shutdown() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let handled = Arc::new(AtomicUsize::new(0));
+        let handled2 = handled.clone();
+        let mut pool = WorkerPool::new(
+            2,
+            16,
+            Arc::new(move |mut conn: TcpStream| {
+                let mut buf = [0u8; 4];
+                let _ = conn.read_exact(&mut buf);
+                let _ = conn.write_all(b"pong");
+                handled2.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+
+        let n = 6;
+        let clients: Vec<_> = (0..n)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    s.write_all(b"ping").unwrap();
+                    let mut buf = Vec::new();
+                    s.read_to_end(&mut buf).unwrap();
+                    assert_eq!(buf, b"pong");
+                })
+            })
+            .collect();
+        for _ in 0..n {
+            let (conn, _) = listener.accept().unwrap();
+            pool.dispatch(conn).map_err(|_| "saturated").unwrap();
+        }
+        pool.shutdown();
+        assert_eq!(handled.load(Ordering::SeqCst), n);
+        for c in clients {
+            c.join().unwrap();
+        }
+    }
+}

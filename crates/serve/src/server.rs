@@ -1,0 +1,405 @@
+//! The serving loop: routing, the shared application state, and graceful
+//! shutdown.
+//!
+//! One `TcpListener` accept thread feeds a bounded [`WorkerPool`]; every
+//! worker shares one immutable [`Dataset`] (loaded once, behind an `Arc`),
+//! the copy-on-write [`ModelRegistry`], and the [`JobManager`]. Prediction
+//! never writes the database: request constants resolve through a per-request
+//! [`relstore::ConstResolver`], so the whole request path is lock-free reads
+//! plus atomic metric bumps. `POST /shutdown` sets a flag, wakes the accept
+//! loop with a loopback connection, and the server drains: queued
+//! connections finish, job threads are cancelled and joined.
+
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::jobs::{JobManager, JobSpec};
+use crate::metrics::{Endpoint, Metrics};
+use crate::pool::WorkerPool;
+use crate::registry::ModelRegistry;
+use autobias::example::{parse_arg_tuple, Example};
+use autobias::query::{definition_covers, QueryConfig};
+use datasets::io::load_dataset;
+use datasets::Dataset;
+use relstore::ConstResolver;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8720` (port 0 for an ephemeral port).
+    pub addr: String,
+    /// Dataset directory in the `datasets::io` layout.
+    pub data_dir: PathBuf,
+    /// Directory of `*.model` files; also receives models learned by jobs.
+    pub models_dir: PathBuf,
+    /// Connection-handling worker threads.
+    pub threads: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:8720".to_string(),
+            data_dir: PathBuf::from("data"),
+            models_dir: PathBuf::from("models"),
+            threads: 4,
+        }
+    }
+}
+
+struct AppState {
+    ds: Arc<Dataset>,
+    registry: Arc<ModelRegistry>,
+    jobs: JobManager,
+    metrics: Metrics,
+    shutting_down: AtomicBool,
+    addr: SocketAddr,
+}
+
+/// A running server; dropping the handle does not stop it — send
+/// `POST /shutdown` and then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    accept_thread: JoinHandle<()>,
+    state: Arc<AppState>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of models currently loaded.
+    pub fn models_loaded(&self) -> usize {
+        self.state.registry.len()
+    }
+
+    /// Blocks until the server has fully shut down (accept loop exited,
+    /// workers drained, job threads joined).
+    pub fn join(self) {
+        let _ = self.accept_thread.join();
+    }
+}
+
+/// Loads the dataset and models, binds, and starts serving. Returns the
+/// handle plus the names of models loaded at startup and any per-file parse
+/// errors (non-fatal).
+pub fn serve(cfg: &ServeConfig) -> Result<(ServerHandle, crate::registry::ReloadReport), String> {
+    let ds = load_dataset(&cfg.data_dir)
+        .map_err(|e| format!("loading {}: {e}", cfg.data_dir.display()))?;
+    let (registry, report) = ModelRegistry::open(&ds.db, &cfg.models_dir)
+        .map_err(|e| format!("models dir {}: {e}", cfg.models_dir.display()))?;
+    let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
+    let addr = listener.local_addr().map_err(|e| e.to_string())?;
+
+    let state = Arc::new(AppState {
+        ds: Arc::new(ds),
+        registry: Arc::new(registry),
+        jobs: JobManager::new(),
+        metrics: Metrics::new(),
+        shutting_down: AtomicBool::new(false),
+        addr,
+    });
+
+    let pool_state = state.clone();
+    let mut pool = WorkerPool::new(
+        cfg.threads,
+        cfg.threads * 8,
+        Arc::new(move |conn| handle_connection(&pool_state, conn)),
+    );
+
+    let accept_state = state.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name("serve-accept".to_string())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                if accept_state.shutting_down.load(Ordering::SeqCst) {
+                    break; // the waking connection (or any racer) is dropped
+                }
+                let Ok(conn) = conn else { continue };
+                if let Err(mut rejected) = pool.dispatch(conn) {
+                    let _ =
+                        write_response(&mut rejected, 503, "Service Unavailable", "saturated\n");
+                }
+            }
+            drop(listener);
+            pool.shutdown(); // drains queued + in-flight requests
+            accept_state.jobs.shutdown(); // cancels and joins learning jobs
+        })
+        .map_err(|e| e.to_string())?;
+
+    Ok((
+        ServerHandle {
+            addr,
+            accept_thread,
+            state,
+        },
+        report,
+    ))
+}
+
+fn handle_connection(state: &Arc<AppState>, mut conn: TcpStream) {
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+    let t0 = Instant::now();
+    let req = match read_request(&mut conn) {
+        Ok(r) => r,
+        Err(HttpError::Bad(m)) => {
+            state.metrics.observe(Endpoint::Other, t0.elapsed(), true);
+            let _ = write_response(&mut conn, 400, "Bad Request", &format!("{m}\n"));
+            return;
+        }
+        Err(HttpError::Io(_)) => return, // client went away; nothing to say
+    };
+    let (endpoint, status, reason, body) = route(state, &req);
+    state.metrics.observe(endpoint, t0.elapsed(), status >= 400);
+    let _ = write_response(&mut conn, status, reason, &body);
+}
+
+const API_HELP: &str = "\
+endpoints:
+  GET  /healthz            liveness
+  GET  /metrics            Prometheus text metrics
+  GET  /models             list loaded models
+  POST /models             reload models from the models directory
+  POST /predict            body: `model NAME` then one CSV tuple per line
+  POST /jobs/learn         start a background learning job (key value lines)
+  GET  /jobs               list jobs
+  GET  /jobs/{id}          poll one job
+  POST /jobs/{id}/cancel   cancel one job
+  POST /shutdown           drain and stop
+";
+
+fn route(state: &Arc<AppState>, req: &Request) -> (Endpoint, u16, &'static str, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (Endpoint::Healthz, 200, "OK", "ok\n".to_string()),
+        ("GET", "/metrics") => {
+            let gauges = [
+                ("autobias_models_loaded", state.registry.len() as u64),
+                ("autobias_jobs_running", state.jobs.running_count()),
+                ("autobias_jobs_total", state.jobs.list().len() as u64),
+                ("autobias_dataset_tuples", state.ds.db.total_tuples() as u64),
+            ];
+            (Endpoint::Metrics, 200, "OK", state.metrics.render(&gauges))
+        }
+        ("GET", "/models") => {
+            let mut out = String::new();
+            for m in state.registry.list() {
+                out.push_str(&format!(
+                    "{}\tclauses={}\tunknown_constants={}\n",
+                    m.name,
+                    m.definition.len(),
+                    m.unknown_constants.len()
+                ));
+            }
+            (Endpoint::Models, 200, "OK", out)
+        }
+        ("POST", "/models") => {
+            let report = state.registry.reload(&state.ds.db);
+            let mut out = format!("loaded {}\n", report.loaded.join(" "));
+            for (file, err) in &report.errors {
+                out.push_str(&format!("error {file}: {err}\n"));
+            }
+            (Endpoint::Models, 200, "OK", out)
+        }
+        ("POST", "/predict") => match handle_predict(state, &req.body) {
+            Ok(body) => (Endpoint::Predict, 200, "OK", body),
+            Err((status, reason, msg)) => (Endpoint::Predict, status, reason, msg),
+        },
+        ("POST", "/jobs/learn") => {
+            if state.shutting_down.load(Ordering::SeqCst) {
+                return (
+                    Endpoint::Jobs,
+                    503,
+                    "Service Unavailable",
+                    "shutting down\n".to_string(),
+                );
+            }
+            match JobSpec::parse(&req.body) {
+                Ok(spec) => {
+                    let job =
+                        state
+                            .jobs
+                            .spawn_learn(spec, state.ds.clone(), state.registry.clone());
+                    (
+                        Endpoint::Jobs,
+                        202,
+                        "Accepted",
+                        format!("id {}\nmodel {}\n", job.id, job.model_name),
+                    )
+                }
+                Err(e) => (Endpoint::Jobs, 400, "Bad Request", format!("{e}\n")),
+            }
+        }
+        ("GET", "/jobs") => {
+            let mut out = String::new();
+            for job in state.jobs.list() {
+                let s = job.status();
+                out.push_str(&format!(
+                    "{}\t{}\t{}\tclauses={}\n",
+                    job.id,
+                    job.model_name,
+                    s.state.as_str(),
+                    s.clauses
+                ));
+            }
+            (Endpoint::Jobs, 200, "OK", out)
+        }
+        ("GET", path) if path.starts_with("/jobs/") => match parse_job_id(path, "") {
+            Some(id) => match state.jobs.get(id) {
+                Some(job) => (Endpoint::Jobs, 200, "OK", render_job(&job)),
+                None => (Endpoint::Jobs, 404, "Not Found", format!("no job {id}\n")),
+            },
+            None => (
+                Endpoint::Jobs,
+                400,
+                "Bad Request",
+                "expected /jobs/{id}\n".to_string(),
+            ),
+        },
+        ("POST", path) if path.starts_with("/jobs/") && path.ends_with("/cancel") => {
+            match parse_job_id(path, "/cancel") {
+                Some(id) => match state.jobs.get(id) {
+                    Some(job) => {
+                        job.cancel();
+                        (Endpoint::Jobs, 200, "OK", render_job(&job))
+                    }
+                    None => (Endpoint::Jobs, 404, "Not Found", format!("no job {id}\n")),
+                },
+                None => (
+                    Endpoint::Jobs,
+                    400,
+                    "Bad Request",
+                    "expected /jobs/{id}/cancel\n".to_string(),
+                ),
+            }
+        }
+        ("POST", "/shutdown") => {
+            state.shutting_down.store(true, Ordering::SeqCst);
+            // Wake the accept loop so it observes the flag; it drops this
+            // throwaway connection and begins the drain.
+            let _ = TcpStream::connect(state.addr);
+            (Endpoint::Shutdown, 200, "OK", "shutting down\n".to_string())
+        }
+        _ => (
+            Endpoint::Other,
+            404,
+            "Not Found",
+            format!("no route {} {}\n{API_HELP}", req.method, req.path),
+        ),
+    }
+}
+
+fn parse_job_id(path: &str, suffix: &str) -> Option<u64> {
+    path.strip_prefix("/jobs/")?
+        .strip_suffix(suffix)?
+        .parse()
+        .ok()
+}
+
+fn render_job(job: &crate::jobs::Job) -> String {
+    let s = job.status();
+    let mut out = format!(
+        "id {}\nmodel {}\nstate {}\nclauses {}\nuncovered {}\n",
+        job.id,
+        job.model_name,
+        s.state.as_str(),
+        s.clauses,
+        s.uncovered_pos
+    );
+    if let Some(secs) = s.elapsed_secs {
+        out.push_str(&format!("elapsed {secs:.3}\n"));
+    }
+    if !s.detail.is_empty() {
+        out.push_str(&format!("detail {}\n", s.detail));
+    }
+    out
+}
+
+/// `POST /predict` body: a `model NAME` line, then one comma-separated tuple
+/// per line. The response has one `TUPLE\tpositive|negative` line per input
+/// tuple, in order.
+fn handle_predict(
+    state: &Arc<AppState>,
+    body: &str,
+) -> Result<String, (u16, &'static str, String)> {
+    let mut lines = body
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let header = lines.next().ok_or((
+        400,
+        "Bad Request",
+        "empty body: expected `model NAME`\n".to_string(),
+    ))?;
+    let name = header
+        .strip_prefix("model ")
+        .map(str::trim)
+        .filter(|n| !n.is_empty())
+        .ok_or((
+            400,
+            "Bad Request",
+            format!("first line must be `model NAME`, got {header:?}\n"),
+        ))?;
+    let entry = state.registry.get(name).ok_or((
+        404,
+        "Not Found",
+        format!("no model {name:?} (see GET /models)\n"),
+    ))?;
+
+    let db = &state.ds.db;
+    // Re-derive the model's ephemeral constant ids: resolving its unknown
+    // strings first, in first-seen order, reproduces the ids assigned when
+    // the model was parsed, so a request mentioning the same out-of-data
+    // string compares equal to the model's constant.
+    let mut resolver = ConstResolver::new(db.dict());
+    for s in &entry.unknown_constants {
+        resolver.resolve(s);
+    }
+
+    let rel = entry
+        .definition
+        .clauses
+        .first()
+        .map(|c| c.head.rel)
+        .unwrap_or(state.ds.target);
+    let arity = db.catalog().schema(rel).arity();
+    let qcfg = QueryConfig::default();
+
+    let mut out = String::new();
+    for (i, line) in lines.enumerate() {
+        let fields = parse_arg_tuple(line)
+            .map_err(|e| (400, "Bad Request", format!("tuple {}: {e}\n", i + 1)))?;
+        if fields.len() != arity {
+            return Err((
+                400,
+                "Bad Request",
+                format!(
+                    "tuple {}: target takes {arity} arguments, got {}\n",
+                    i + 1,
+                    fields.len()
+                ),
+            ));
+        }
+        let consts: Vec<relstore::Const> = fields.iter().map(|f| resolver.resolve(f)).collect();
+        let example = Example::new(rel, consts);
+        let covered = definition_covers(db, &entry.definition, &example, &qcfg);
+        out.push_str(&format!(
+            "{}\t{}\n",
+            fields.join(","),
+            if covered { "positive" } else { "negative" }
+        ));
+    }
+    if out.is_empty() {
+        return Err((
+            400,
+            "Bad Request",
+            "no tuples: expected one CSV tuple per line after `model NAME`\n".to_string(),
+        ));
+    }
+    Ok(out)
+}

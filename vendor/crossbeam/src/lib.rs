@@ -1,0 +1,70 @@
+//! Offline vendored shim for the one `crossbeam` API this workspace uses:
+//! [`thread::scope`]. Delegates to [`std::thread::scope`] (stable since Rust
+//! 1.63), preserving crossbeam's `Result`-returning signature and the
+//! `|_| ...` spawn-closure shape call sites rely on.
+
+#![warn(missing_docs)]
+
+/// Scoped threads with crossbeam's calling convention.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle; `spawn` closures receive a reference to it.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (unused by
+        /// this workspace, kept for crossbeam signature compatibility).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads are joined before
+    /// returning. Returns `Err` with the panic payload if any spawned thread
+    /// panicked (crossbeam's contract); `std::thread::scope` itself would
+    /// propagate the panic, so the `Err` arm is reached only via the
+    /// resume/catch below.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicUsize::new(0);
+        let out = super::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! Offline vendored shim for the subset of the `proptest` API this workspace
+//! uses: the [`Strategy`] trait with `prop_map`, integer-range / tuple /
+//! vector / char-class-regex strategies, `prop_oneof!` unions,
+//! `prop_compose!`, and the `proptest!` / `prop_assert*!` macros.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case panics with
+//! the case index and seed, which is enough to reproduce deterministically
+//! (generation is seeded per case index).
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::rc::Rc;
+
+/// A failed test-case assertion (carried by `prop_assert*!`).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self(msg.into())
+    }
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Rc<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+}
+
+/// A union of same-valued strategies; each draw picks one arm uniformly.
+/// Built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<Rc<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Self {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<Rc<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// String generation from a restricted regex form: `[<class>]{m,n}` where
+/// `<class>` is literal characters, `\`-escapes, and `a-z` style ranges.
+/// This covers the patterns used by the workspace's property tests.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (chars, lo, hi) = parse_class_regex(self)
+            .unwrap_or_else(|| panic!("unsupported string-strategy pattern: {self:?}"));
+        let len = rng.random_range(lo..=hi);
+        (0..len)
+            .map(|_| chars[rng.random_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parses `[<class>]{m,n}` into (alphabet, m, n); `None` if the pattern does
+/// not have that exact shape.
+fn parse_class_regex(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let quant = rest[close + 1..]
+        .strip_prefix('{')?
+        .strip_suffix('}')?
+        .split_once(',')?;
+    let lo: usize = quant.0.trim().parse().ok()?;
+    let hi: usize = quant.1.trim().parse().ok()?;
+    if lo > hi {
+        return None;
+    }
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        let c = if cs[i] == '\\' && i + 1 < cs.len() {
+            i += 1;
+            cs[i]
+        } else if i + 2 < cs.len() && cs[i + 1] == '-' {
+            // `a-z` range.
+            let (a, b) = (cs[i], cs[i + 2]);
+            if a > b {
+                return None;
+            }
+            for code in a as u32..=b as u32 {
+                chars.push(char::from_u32(code)?);
+            }
+            i += 3;
+            continue;
+        } else {
+            cs[i]
+        };
+        chars.push(c);
+        i += 1;
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    Some((chars, lo, hi))
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Rng, Strategy};
+
+    /// Strategy for vectors of `elem` with a length drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// A `Vec<S::Value>` strategy with length in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut super::StdRng) -> Self::Value {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Deterministic per-case RNG used by the `proptest!` macro. Public because
+/// the macro expands in downstream crates.
+pub fn case_rng(case: u32) -> StdRng {
+    StdRng::seed_from_u64(0x5052_4F50_u64 ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs `cases` random test cases: the `proptest!` macro's engine.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::Strategy as _;
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut __proptest_rng = $crate::case_rng(case);
+                    $(let $arg = ($strat).generate(&mut __proptest_rng);)*
+                    let result: ::core::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(e) = result {
+                        panic!("proptest {} failed at case {}: {}", stringify!($name), case, e);
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    ( $($rest:tt)* ) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// process) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, $($fmt)+);
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, $($fmt)+);
+    }};
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<::std::rc::Rc<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::rc::Rc::new($arm)),+];
+        $crate::Union::new(arms)
+    }};
+}
+
+/// Defines a function returning a composed strategy (subset of upstream
+/// `prop_compose!`: plain typed parameters, 1–3 strategy bindings).
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident : $argty:ty),* $(,)?)
+            ($b1:ident in $s1:expr $(,)?) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $ret> {
+            use $crate::Strategy as _;
+            ($s1).prop_map(move |$b1| $body)
+        }
+    };
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident : $argty:ty),* $(,)?)
+            ($b1:ident in $s1:expr, $b2:ident in $s2:expr $(,)?) -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $ret> {
+            use $crate::Strategy as _;
+            (($s1), ($s2)).prop_map(move |($b1, $b2)| $body)
+        }
+    };
+    (
+        $(#[$meta:meta])*
+        $vis:vis fn $name:ident($($arg:ident : $argty:ty),* $(,)?)
+            ($b1:ident in $s1:expr, $b2:ident in $s2:expr, $b3:ident in $s3:expr $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $(#[$meta])*
+        $vis fn $name($($arg: $argty),*) -> impl $crate::Strategy<Value = $ret> {
+            use $crate::Strategy as _;
+            (($s1), ($s2), ($s3)).prop_map(move |($b1, $b2, $b3)| $body)
+        }
+    };
+}
+
+/// Glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest,
+        ProptestConfig, Strategy, TestCaseError, Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn class_regex_parses_used_patterns() {
+        let (chars, lo, hi) = super::parse_class_regex("[a-z0-9]{0,8}").unwrap();
+        assert_eq!((lo, hi), (0, 8));
+        assert_eq!(chars.len(), 36);
+        let (chars, _, _) = super::parse_class_regex("[a-z,\"\\- ]{0,8}").unwrap();
+        assert!(chars.contains(&','));
+        assert!(chars.contains(&'"'));
+        assert!(chars.contains(&'-'));
+        assert!(chars.contains(&' '));
+        assert!(chars.contains(&'q'));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(x in 0u32..10, pair in (0usize..4, 1usize..5)) {
+            prop_assert!(x < 10);
+            prop_assert!(pair.0 < 4 && (1..5).contains(&pair.1));
+        }
+
+        #[test]
+        fn vec_and_map(v in crate::collection::vec((0u8..3).prop_map(|x| x * 2), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for x in &v {
+                prop_assert!(x % 2 == 0 && *x < 6);
+            }
+        }
+
+        #[test]
+        fn oneof_and_strings(choice in prop_oneof![(0u32..1).prop_map(|_| true), (0u32..1).prop_map(|_| false)],
+                             s in "[a-c]{1,3}") {
+            let _ = choice;
+            prop_assert!((1..=3).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "bad string {:?}", s);
+        }
+    }
+
+    prop_compose! {
+        fn pair_sum(base: u32)(a in 0u32..5, b in 0u32..5) -> u32 {
+            base + a + b
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn composed(x in pair_sum(100)) {
+            prop_assert!((100..110).contains(&x));
+        }
+    }
+}
