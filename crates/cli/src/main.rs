@@ -37,6 +37,10 @@ fn main() -> ExitCode {
     }
     let cmd = argv.remove(0);
     let args = Args::new(argv);
+    if let Err(e) = init_logging(&args) {
+        eprintln!("error: {e}");
+        return ExitCode::FAILURE;
+    }
     let result = match cmd.as_str() {
         "gen" => cmd_gen(&args),
         "stats" => cmd_stats(&args),
@@ -75,9 +79,25 @@ USAGE:
                    [--format native|aleph]
   autobias learn   --data DIR [--bias auto|manual|FILE] [--out FILE]
                    [--sampling naive|random|stratified|full] [--depth N] [--seed N]
+                   [--trace-out FILE] [--profile]
   autobias eval    --data DIR --model FILE
   autobias predict --data DIR --model FILE --args \"v1,v2\"
-  autobias serve   --data DIR --models DIR [--addr HOST:PORT] [--threads N]";
+  autobias serve   --data DIR --models DIR [--addr HOST:PORT] [--threads N]
+
+Every command accepts --log-level error|warn|info|debug (or set AUTOBIAS_LOG).
+learn: --trace-out writes a chrome-trace JSON (open in ui.perfetto.dev);
+       --profile prints a per-phase wall-clock summary table to stderr.";
+
+/// Applies `--log-level` (which wins over the `AUTOBIAS_LOG` environment
+/// variable read by `obs` on first use).
+fn init_logging(args: &Args) -> Result<(), String> {
+    if let Some(spec) = args.get_str("--log-level") {
+        let level = obs::log::Level::parse(spec)
+            .ok_or_else(|| format!("unknown --log-level {spec:?} (error|warn|info|debug)"))?;
+        obs::log::set_level(level);
+    }
+    Ok(())
+}
 
 fn load(args: &Args) -> Result<Dataset, String> {
     let dir = args.get_str("--data").ok_or("missing --data DIR")?;
@@ -132,7 +152,7 @@ fn cmd_inds(args: &Args) -> Result<(), String> {
         println!("{}", ind.render(&ds.db));
     }
     let graph = constraints::build_type_graph(&ds.db, &inds);
-    eprintln!(
+    obs::info!(
         "{} INDs ({} exact), {} types",
         inds.len(),
         inds.iter().filter(|i| i.is_exact()).count(),
@@ -170,7 +190,7 @@ fn cmd_induce(args: &Args) -> Result<(), String> {
         }
         None => print!("{text}"),
     }
-    eprintln!(
+    obs::info!(
         "{} preds + {} modes from {} exact / {} approximate INDs in {:?}",
         stats.num_preds,
         stats.num_modes,
@@ -207,6 +227,14 @@ fn pick_bias(args: &Args, ds: &Dataset) -> Result<autobias::bias::LanguageBias, 
 }
 
 fn cmd_learn(args: &Args) -> Result<(), String> {
+    let trace_out = args.get_str("--trace-out");
+    let profile = args.has("--profile");
+    if trace_out.is_some() {
+        obs::set_mode(obs::Mode::Full);
+    } else if profile {
+        obs::enable_at_least(obs::Mode::Summary);
+    }
+    obs::reset();
     let ds = load(args)?;
     let bias = pick_bias(args, &ds)?;
     let sample = args.get("--sample-size", 20usize);
@@ -243,12 +271,20 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
         }
         None => println!("{text}"),
     }
-    eprintln!(
+    obs::info!(
         "learned in {:?} ({} uncovered positives, BC time {:?})",
         t0.elapsed(),
         stats.uncovered_pos,
         stats.bc_time
     );
+    if let Some(path) = trace_out {
+        let json = obs::chrome::export_current();
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        obs::info!("wrote chrome trace to {path} (open in ui.perfetto.dev)");
+    }
+    if profile {
+        eprint!("{}", obs::render_summary_table());
+    }
     Ok(())
 }
 
@@ -328,7 +364,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     };
     let (handle, report) = autobias_serve::serve(&cfg)?;
     for (file, e) in &report.errors {
-        eprintln!("warning: skipped model {file}: {e}");
+        obs::warn!("skipped model {file}: {e}");
     }
     println!(
         "listening on http://{} ({} model(s): {})",

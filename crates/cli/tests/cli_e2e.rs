@@ -250,3 +250,88 @@ fn serve_smoke_over_cli() {
     reader.read_to_string(&mut rest).unwrap();
     assert!(rest.contains("shut down cleanly"), "stdout tail: {rest}");
 }
+
+#[test]
+fn trace_out_and_profile_produce_chrome_trace_and_table() {
+    let tmp = TempDir::new("trace");
+    let data = tmp.path("uw");
+    let model = tmp.path("model.txt");
+    let trace = tmp.path("trace.json");
+
+    let (ok, _, err) = run(&["gen", "--dataset", "uw", "--out", &data, "--seed", "5"]);
+    assert!(ok, "gen failed: {err}");
+
+    // --bias auto so the bias-induction spans appear; --depth 1 keeps the
+    // search small enough for a test.
+    let (ok, _, err) = run(&[
+        "learn",
+        "--data",
+        &data,
+        "--bias",
+        "auto",
+        "--depth",
+        "1",
+        "--trace-out",
+        &trace,
+        "--profile",
+        "--out",
+        &model,
+    ]);
+    assert!(ok, "learn failed: {err}");
+
+    // The profile table goes to stderr with the dominating phase on top.
+    assert!(err.contains("phase"), "no summary table: {err}");
+    for phase in ["learn", "bc.build", "coverage.theta"] {
+        assert!(err.contains(phase), "table missing {phase}: {err}");
+    }
+
+    // The trace is structurally valid chrome-trace JSON with one span per
+    // pipeline stage (full validation runs in CI with a JSON parser).
+    let json = std::fs::read_to_string(&trace).unwrap();
+    assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+    assert!(json.ends_with("]}"));
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    for span in [
+        "bias.induce",
+        "bias.ind_discovery",
+        "bias.type_graph",
+        "learn",
+        "learn.bc_build",
+        "bc.build",
+        "learn.clause_search",
+        "coverage.theta",
+    ] {
+        assert!(
+            json.contains(&format!("\"name\":\"{span}\"")),
+            "trace missing span {span}"
+        );
+    }
+    assert!(json.contains("\"ph\":\"X\""));
+    assert!(
+        json.contains("\"label\":\"naive\""),
+        "sampling regime label"
+    );
+}
+
+#[test]
+fn log_level_flag_silences_info() {
+    let tmp = TempDir::new("loglevel");
+    let data = tmp.path("uw");
+    let (ok, _, err) = run(&["gen", "--dataset", "uw", "--out", &data, "--seed", "5"]);
+    assert!(ok, "gen failed: {err}");
+
+    // Default level prints the info summary...
+    let (ok, _, err) = run(&["inds", "--data", &data]);
+    assert!(ok);
+    assert!(err.contains("info: ") && err.contains("types"), "{err}");
+
+    // ...and --log-level error silences it.
+    let (ok, _, err) = run(&["inds", "--data", &data, "--log-level", "error"]);
+    assert!(ok);
+    assert!(!err.contains("info: "), "{err}");
+
+    // Garbage levels are rejected.
+    let (ok, _, err) = run(&["inds", "--data", &data, "--log-level", "loud"]);
+    assert!(!ok);
+    assert!(err.contains("unknown --log-level"), "{err}");
+}

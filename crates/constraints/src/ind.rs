@@ -93,8 +93,10 @@ impl Default for IndConfig {
 /// Self-pairs `A ⊆ A` are skipped. Pairs where the left attribute is empty
 /// are skipped (vacuous inclusions carry no type information).
 pub fn discover_inds(db: &Database, cfg: &IndConfig) -> Vec<Ind> {
+    let mut sp = obs::span!("bias.ind_discovery");
     let attrs = db.catalog().all_attrs();
     let n = attrs.len();
+    sp.note("attrs", n as u64);
     if n == 0 {
         return Vec::new();
     }
@@ -170,6 +172,7 @@ pub fn discover_inds(db: &Database, cfg: &IndConfig) -> Vec<Ind> {
             }
         }
     }
+    sp.note("inds", out.len() as u64);
     out
 }
 

@@ -105,6 +105,8 @@ impl TypeGraph {
 /// Builds the type graph from a schema's attributes and discovered INDs
 /// (Algorithm 3).
 pub fn build_type_graph(db: &Database, inds: &[Ind]) -> TypeGraph {
+    let mut sp = obs::span!("bias.type_graph");
+    sp.note("inds", inds.len() as u64);
     let attrs = db.catalog().all_attrs();
     let n = attrs.len();
     let idx_of: FxHashMap<AttrRef, usize> =
@@ -255,6 +257,7 @@ pub fn build_type_graph(db: &Database, inds: &[Ind]) -> TypeGraph {
         types.insert(*attr, ts);
     }
 
+    sp.note("types", next_type as u64);
     TypeGraph {
         edges,
         types,

@@ -90,6 +90,8 @@ pub fn induce_bias(
     target: RelId,
     cfg: &AutoBiasConfig,
 ) -> Result<(LanguageBias, TypeGraph, BiasStats), BiasError> {
+    crate::instrument::register();
+    let mut sp = obs::span!("bias.induce");
     let t0 = Instant::now();
     let inds = discover_inds(db, &cfg.ind);
     let ind_time = t0.elapsed();
@@ -130,6 +132,13 @@ pub fn induce_bias(
         bias_time: t1.elapsed(),
     };
 
+    if sp.is_active() {
+        sp.note("exact_inds", stats.exact_inds as u64);
+        sp.note("approx_inds", stats.approx_inds as u64);
+        sp.note("types", stats.num_types as u64);
+        sp.note("preds", stats.num_preds as u64);
+        sp.note("modes", stats.num_modes as u64);
+    }
     let bias = LanguageBias::new(db, target, preds, modes)?;
     Ok((bias, graph, stats))
 }

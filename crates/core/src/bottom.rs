@@ -116,6 +116,18 @@ pub enum SamplingStrategy {
     },
 }
 
+impl SamplingStrategy {
+    /// Static regime name, used as the `bc.build` span label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SamplingStrategy::Full => "full",
+            SamplingStrategy::Naive { .. } => "naive",
+            SamplingStrategy::Random { .. } => "random",
+            SamplingStrategy::Stratified { .. } => "stratified",
+        }
+    }
+}
+
 /// Configuration for BC construction.
 #[derive(Debug, Clone, Copy)]
 pub struct BcConfig {
@@ -264,7 +276,9 @@ pub fn build_bottom_clause<R: Rng>(
     cfg: &BcConfig,
     rng: &mut R,
 ) -> BottomClause {
-    crate::instrument::bump(&crate::instrument::BOTTOM_CLAUSES_BUILT);
+    crate::instrument::BOTTOM_CLAUSES_BUILT.bump();
+    let mut sp = obs::span!("bc.build", cfg.strategy.label());
+    let mut walk = WalkStats::default();
     let mut b = Builder::new(db, bias, *cfg);
     let mut frontier = b.seed(example);
     let probes = b.probe_points();
@@ -300,7 +314,15 @@ pub fn build_bottom_clause<R: Rng>(
                         SamplingStrategy::Random {
                             per_selection,
                             oversample,
-                        } => olken_semijoin_sample(&b, attr, &vals, per_selection, oversample, rng),
+                        } => olken_semijoin_sample(
+                            &b,
+                            attr,
+                            &vals,
+                            per_selection,
+                            oversample,
+                            rng,
+                            &mut walk,
+                        ),
                         SamplingStrategy::Stratified { .. } => unreachable!(),
                     };
                     for id in picked {
@@ -315,7 +337,27 @@ pub fn build_bottom_clause<R: Rng>(
         }
     }
 
-    emit(&b, example)
+    let bc = emit(&b, example);
+    if sp.is_active() {
+        sp.note("tuples", b.collected.len() as u64);
+        sp.note("body_literals", bc.clause.body.len() as u64);
+        if walk.draws > 0 {
+            sp.note("walk_draws", walk.draws);
+            sp.note("walk_accepted", walk.accepted);
+        }
+    }
+    crate::instrument::BC_WALK_DRAWS.add(walk.draws);
+    crate::instrument::BC_WALK_ACCEPTED.add(walk.accepted);
+    bc
+}
+
+/// Accept–reject walk tally for one bottom clause (exported as span notes
+/// and the `autobias_core_bc_walk_*` counters; rejected = draws − accepted,
+/// counting empty-lookup draws as rejections).
+#[derive(Debug, Clone, Copy, Default)]
+struct WalkStats {
+    draws: u64,
+    accepted: u64,
 }
 
 /// σ_{attr ∈ vals}: all matching tuple ids (Full / Naive path).
@@ -336,6 +378,7 @@ fn olken_semijoin_sample<R: Rng>(
     want: usize,
     oversample: usize,
     rng: &mut R,
+    walk: &mut WalkStats,
 ) -> Vec<TupleId> {
     let rel = b.db.relation(attr.rel);
     let Some(idx) = rel.index(attr.pos as usize) else {
@@ -358,6 +401,7 @@ fn olken_semijoin_sample<R: Rng>(
         if out.len() >= want {
             break;
         }
+        walk.draws += 1;
         let a = vals[rng.random_range(0..vals.len())];
         let ts = idx.lookup(a);
         if ts.is_empty() {
@@ -369,6 +413,7 @@ fn olken_semijoin_sample<R: Rng>(
         // result (Proposition 4.2).
         let accept = ts.len() as f64 / max_freq as f64;
         if rng.random_range(0.0..1.0) < accept && seen.insert(t) {
+            walk.accepted += 1;
             out.push(t);
         }
     }

@@ -70,6 +70,8 @@ impl CoverageEngine {
 
     /// Indices among `candidates` of positives covered by `clause` (parallel).
     pub fn covered_pos_subset(&self, clause: &Clause, candidates: &[usize]) -> Vec<usize> {
+        let mut sp = obs::span!("coverage.theta", "pos");
+        sp.note("examples", candidates.len() as u64);
         let hits = parallel_map(candidates, |_, &i| (i, self.covers_pos(clause, i)));
         hits.into_iter()
             .filter(|(_, h)| *h)
@@ -79,6 +81,8 @@ impl CoverageEngine {
 
     /// Number of negatives covered by `clause` (parallel).
     pub fn count_neg(&self, clause: &Clause) -> usize {
+        let mut sp = obs::span!("coverage.theta", "neg");
+        sp.note("examples", self.neg.len() as u64);
         let idxs: Vec<usize> = (0..self.neg.len()).collect();
         parallel_map(&idxs, |_, &i| self.covers_neg(clause, i))
             .into_iter()

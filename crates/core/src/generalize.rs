@@ -148,6 +148,11 @@ pub struct LearnClauseStats {
     pub armg_calls: usize,
     /// Candidates scored.
     pub candidates_scored: usize,
+    /// Distinct candidates generated by armg across all iterations.
+    pub candidates_generated: usize,
+    /// Candidates skipped by the positive-coverage upper bound before any
+    /// negative scoring.
+    pub candidates_pruned: usize,
 }
 
 /// The `LearnClause` step of Algorithm 1: builds candidates from the seed's
@@ -164,6 +169,7 @@ pub fn learn_clause<R: Rng>(
     rng: &mut R,
 ) -> (Clause, LearnClauseStats) {
     let mut stats = LearnClauseStats::default();
+    let mut sp = obs::span!("learn.clause_search");
     let bottom = engine.pos[seed].clause.clone();
 
     let score_of = |c: &Clause, stats: &mut LearnClauseStats| {
@@ -210,6 +216,7 @@ pub fn learn_clause<R: Rng>(
         if unique.is_empty() {
             break;
         }
+        stats.candidates_generated += unique.len();
 
         // Scoring with sound pruning: score = p − n ≤ p, so once a
         // candidate's positive coverage cannot beat the beam's k-th best
@@ -225,7 +232,8 @@ pub fn learn_clause<R: Rng>(
         with_p.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.len().cmp(&b.0.len())));
 
         let mut candidates: Vec<(Clause, i64)> = Vec::new();
-        for (c, p) in with_p {
+        let total = with_p.len();
+        for (idx, (c, p)) in with_p.into_iter().enumerate() {
             if past_deadline() && !candidates.is_empty() {
                 break;
             }
@@ -236,7 +244,9 @@ pub fn learn_clause<R: Rng>(
             };
             if let Some(kth) = kth_best {
                 if (p as i64) <= kth {
-                    break; // p is an upper bound on the score: prune the rest
+                    // p is an upper bound on the score: prune the rest.
+                    stats.candidates_pruned += total - idx;
+                    break;
                 }
             }
             stats.candidates_scored += 1;
@@ -261,6 +271,16 @@ pub fn learn_clause<R: Rng>(
         }
     }
 
+    crate::instrument::CANDIDATES_GENERATED.add(stats.candidates_generated as u64);
+    crate::instrument::CANDIDATES_PRUNED.add(stats.candidates_pruned as u64);
+    if sp.is_active() {
+        sp.note("iterations", stats.iterations as u64);
+        sp.note("armg_calls", stats.armg_calls as u64);
+        sp.note("candidates_generated", stats.candidates_generated as u64);
+        sp.note("candidates_scored", stats.candidates_scored as u64);
+        sp.note("candidates_pruned", stats.candidates_pruned as u64);
+        sp.note("best_len", best.len() as u64);
+    }
     (best, stats)
 }
 

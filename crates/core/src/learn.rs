@@ -134,6 +134,8 @@ impl Learner {
         train: &TrainingSet,
         cancel: &AtomicBool,
     ) -> (Definition, LearnStats) {
+        crate::instrument::register();
+        let mut sp = obs::span!("learn");
         let mut stats = LearnStats::default();
         if cancel.load(Ordering::Relaxed) {
             stats.cancelled = true;
@@ -141,14 +143,17 @@ impl Learner {
             return (Definition::new(), stats);
         }
         let t0 = Instant::now();
-        let engine = CoverageEngine::build(
-            db,
-            bias,
-            train,
-            &self.cfg.bc,
-            self.cfg.subsume,
-            self.cfg.seed,
-        );
+        let engine = {
+            let _bc_sp = obs::span!("learn.bc_build");
+            CoverageEngine::build(
+                db,
+                bias,
+                train,
+                &self.cfg.bc,
+                self.cfg.subsume,
+                self.cfg.seed,
+            )
+        };
         stats.bc_time = t0.elapsed();
         stats.ground_literals = engine.pos.iter().map(|b| b.ground.len()).sum::<usize>()
             + engine.neg.iter().map(|g| g.len()).sum::<usize>();
@@ -187,6 +192,7 @@ impl Learner {
             let accept = covered.len() >= self.cfg.min.min_pos_covered
                 && precision >= self.cfg.min.min_precision;
             if !accept {
+                crate::instrument::CLAUSES_REJECTED.bump();
                 stats.rejected_clauses += 1;
                 // The seed example is unlearnable under the current budget;
                 // drop it so the loop can make progress on the rest.
@@ -201,11 +207,18 @@ impl Learner {
                 clause = crate::generalize::reduce_clause(&clause, &engine);
             }
             clause.canonicalize_vars();
+            crate::instrument::CLAUSES_ACCEPTED.bump();
             definition.clauses.push(clause);
         }
 
         stats.search_time = t1.elapsed();
         stats.uncovered_pos = uncovered.len();
+        if sp.is_active() {
+            sp.note("clauses", definition.len() as u64);
+            sp.note("rejected_clauses", stats.rejected_clauses as u64);
+            sp.note("uncovered_pos", stats.uncovered_pos as u64);
+            sp.note("ground_literals", stats.ground_literals as u64);
+        }
         (definition, stats)
     }
 

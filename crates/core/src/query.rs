@@ -34,7 +34,7 @@ impl Default for QueryConfig {
 /// binds the head to the example's constants and searches for body tuples
 /// witnessing all joins (`I ∧ C ⊨ e`).
 pub fn clause_covers(db: &Database, clause: &Clause, example: &Example, cfg: &QueryConfig) -> bool {
-    crate::instrument::bump(&crate::instrument::COVERAGE_QUERIES);
+    crate::instrument::COVERAGE_QUERIES.bump();
     if clause.head.rel != example.rel || clause.head.args.len() != example.args.len() {
         return false;
     }
@@ -72,10 +72,13 @@ pub fn definition_covers(
     example: &Example,
     cfg: &QueryConfig,
 ) -> bool {
-    definition
+    let mut sp = obs::span!("coverage.spj");
+    let covered = definition
         .clauses
         .iter()
-        .any(|c| clause_covers(db, c, example, cfg))
+        .any(|c| clause_covers(db, c, example, cfg));
+    sp.note("clauses", definition.clauses.len() as u64);
+    covered
 }
 
 struct Eval<'a> {

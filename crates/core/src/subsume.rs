@@ -69,7 +69,7 @@ pub fn theta_subsumes<R: Rng>(
     cfg: &SubsumeConfig,
     rng: &mut R,
 ) -> bool {
-    crate::instrument::bump(&crate::instrument::SUBSUMPTION_TESTS);
+    crate::instrument::SUBSUMPTION_TESTS.bump();
     // 1. Head binding: relation and arity must match; head vars bind to the
     //    example's constants, head constants must equal them.
     if clause.head.rel != ground.example.rel || clause.head.args.len() != ground.example.args.len()

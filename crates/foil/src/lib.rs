@@ -131,15 +131,19 @@ impl FoilLearner {
         train: &TrainingSet,
     ) -> (Definition, FoilStats) {
         let mut stats = FoilStats::default();
+        let mut sp = obs::span!("learn", "foil");
         let t0 = Instant::now();
-        let engine = CoverageEngine::build(
-            db,
-            bias,
-            train,
-            &self.cfg.bc,
-            self.cfg.subsume,
-            self.cfg.seed,
-        );
+        let engine = {
+            let _bc_sp = obs::span!("learn.bc_build");
+            CoverageEngine::build(
+                db,
+                bias,
+                train,
+                &self.cfg.bc,
+                self.cfg.subsume,
+                self.cfg.seed,
+            )
+        };
         stats.bc_time = t0.elapsed();
 
         let t1 = Instant::now();
@@ -175,6 +179,10 @@ impl FoilLearner {
 
         stats.search_time = t1.elapsed();
         stats.uncovered_pos = uncovered.len();
+        if sp.is_active() {
+            sp.note("clauses", definition.len() as u64);
+            sp.note("uncovered_pos", stats.uncovered_pos as u64);
+        }
         (definition, stats)
     }
 

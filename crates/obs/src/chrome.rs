@@ -1,0 +1,123 @@
+//! Chrome-trace JSON exporter. The output is the "JSON Object Format" of
+//! the Trace Event specification — an object with a `traceEvents` array of
+//! complete (`"ph":"X"`) events — and loads directly in `about://tracing`
+//! or <https://ui.perfetto.dev>. Timestamps and durations are microseconds
+//! since the recorder epoch, as the format requires.
+
+use crate::span::{dropped_events, snapshot_events, SpanEvent};
+
+/// Escapes `s` for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn push_event(out: &mut String, e: &SpanEvent) {
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"autobias\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{}",
+        json_escape(e.name),
+        e.tid,
+        e.start_us,
+        e.dur_us
+    ));
+    out.push_str(",\"args\":{");
+    let mut first = true;
+    if let Some(label) = e.label {
+        out.push_str(&format!("\"label\":\"{}\"", json_escape(label)));
+        first = false;
+    }
+    for (k, v) in &e.notes {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{v}", json_escape(k)));
+        first = false;
+    }
+    out.push_str("}}");
+}
+
+/// Serializes `events` (plus a process-name metadata event and, when the
+/// buffer overflowed, a `dropped_events` count) as chrome-trace JSON.
+pub fn export_chrome_trace(events: &[SpanEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 256);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{{\"name\":\"autobias\",\"dropped_events\":{}}}}}",
+        dropped_events()
+    ));
+    for e in events {
+        out.push(',');
+        push_event(&mut out, e);
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Exports the recorder's current event buffer.
+pub fn export_current() -> String {
+    export_chrome_trace(&snapshot_events())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &'static str) -> SpanEvent {
+        SpanEvent {
+            name,
+            label: Some("naive"),
+            notes: vec![("tuples", 42), ("ground_literals", 7)],
+            tid: 3,
+            depth: 1,
+            start_us: 100,
+            dur_us: 250,
+        }
+    }
+
+    #[test]
+    fn export_is_wellformed_and_contains_fields() {
+        let json = export_chrome_trace(&[ev("bc.build")]);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"name\":\"bc.build\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ts\":100"));
+        assert!(json.contains("\"dur\":250"));
+        assert!(json.contains("\"tid\":3"));
+        assert!(json.contains("\"label\":\"naive\""));
+        assert!(json.contains("\"tuples\":42"));
+        assert!(json.contains("\"ground_literals\":7"));
+        // Balanced braces/brackets — a cheap structural well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_export_still_has_metadata() {
+        let json = export_chrome_trace(&[]);
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"dropped_events\""));
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

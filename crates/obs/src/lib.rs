@@ -1,0 +1,70 @@
+//! # obs — the workspace's observability layer
+//!
+//! Zero-dependency tracing, profiling, metrics, and logging shared by every
+//! crate in the pipeline. The paper's claims are claims about *where time
+//! goes* (bottom-clause construction under different sampling regimes,
+//! θ-subsumption vs. SQL coverage testing); this crate is how the
+//! reproduction measures that instead of guessing.
+//!
+//! Four pieces, all built on `std` only:
+//!
+//! - [`mod@span`] — hierarchical RAII spans over a process-wide recorder. A
+//!   span is `let _sp = obs::span!("bc.build");`; guards nest via a
+//!   thread-local depth, record wall-clock on drop, and can carry numeric
+//!   notes (`sp.note("ground", n)`). Three recorder modes:
+//!   [`Mode::Off`] (the default — entering a span costs **one relaxed
+//!   atomic load**, nothing is recorded), [`Mode::Summary`] (per-phase
+//!   aggregates only), and [`Mode::Full`] (aggregates plus a bounded event
+//!   buffer for trace export).
+//! - [`chrome`] — exports the recorded events as chrome-trace JSON,
+//!   loadable in `about://tracing` or [Perfetto](https://ui.perfetto.dev).
+//! - [`summary`] — flat per-phase statistics (count, total, mean, max, and
+//!   fixed latency buckets) with a human summary table and the raw data the
+//!   serving layer renders as Prometheus histograms.
+//! - [`metrics`] — a registry of named monotonic [`metrics::Counter`]s.
+//!   Bumping a counter is a single relaxed `fetch_add` whether or not
+//!   anything ever reads it; exporters iterate the registry so every
+//!   counter in the process shows up in one scrape.
+//! - [`log`] — a leveled logger (`error!`/`warn!`/`info!`/`debug!`)
+//!   configured by the `AUTOBIAS_LOG` environment variable or
+//!   [`log::set_level`], replacing ad-hoc `eprintln!` calls.
+//!
+//! ## Span naming convention
+//!
+//! Dotted lowercase names, coarse-grained (a span per pipeline stage or per
+//! example, never per tuple or per subsumption node). The pipeline's stable
+//! names, asserted by CI's trace-smoke step:
+//!
+//! | span                  | where                                        |
+//! |-----------------------|----------------------------------------------|
+//! | `bias.induce`         | whole automatic bias induction               |
+//! | `bias.ind_discovery`  | unary IND discovery                          |
+//! | `bias.type_graph`     | type-graph construction                      |
+//! | `learn`               | one `Learner::learn` call                    |
+//! | `learn.bc_build`      | ground-BC construction for a training set    |
+//! | `bc.build`            | one bottom clause (label = sampling regime)  |
+//! | `learn.clause_search` | one beam search (`LearnClause`)              |
+//! | `coverage.theta`      | θ-subsumption coverage batch                 |
+//! | `coverage.spj`        | direct SPJ evaluation of a definition        |
+//!
+//! ## Overhead budget
+//!
+//! With the recorder [`Mode::Off`] a span is one relaxed load and counters
+//! are one relaxed `fetch_add` — the pre-existing hot-path cost. `Summary`
+//! adds two `Instant` reads and one short mutex-protected hash-map update
+//! per span; `Full` additionally pushes one event into a buffer capped at
+//! [`span::MAX_EVENTS`] (drops beyond the cap are counted, never silent).
+//! The `obs_overhead` bench in `crates/bench` compares a full learning run
+//! under all three modes.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod log;
+pub mod metrics;
+pub mod span;
+pub mod summary;
+
+pub use chrome::export_chrome_trace;
+pub use span::{enable_at_least, mode, reset, set_mode, Mode, SpanGuard};
+pub use summary::{phase_snapshot, render_summary_table, PhaseStat, PHASE_BUCKETS};

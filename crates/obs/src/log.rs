@@ -1,0 +1,180 @@
+//! Leveled logging to stderr: [`crate::error!`], [`crate::warn!`],
+//! [`crate::info!`], [`crate::debug!`]. The threshold comes from the
+//! `AUTOBIAS_LOG` environment variable (`error|warn|info|debug`, read once
+//! on first use) or programmatically via [`set_level`] (e.g. the CLI's
+//! `--log-level` flag, which wins over the environment). Default is `info`,
+//! so messages that used to be unconditional `eprintln!` calls stay visible.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// The operation failed.
+    Error = 0,
+    /// Something suspicious; the operation continued.
+    Warn = 1,
+    /// Progress and result summaries (the default threshold).
+    Info = 2,
+    /// Detail for debugging.
+    Debug = 3,
+}
+
+impl Level {
+    /// Lowercase name, as used by `AUTOBIAS_LOG` and `--log-level`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a level name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel: threshold not yet initialized from the environment.
+const UNINIT: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn from_u8(v: u8) -> Level {
+    match v {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+#[cold]
+fn init_from_env() -> Level {
+    let l = std::env::var("AUTOBIAS_LOG")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(Level::Info);
+    LEVEL.store(l as u8, Ordering::Relaxed);
+    l
+}
+
+/// Current threshold (initializing from `AUTOBIAS_LOG` on first call).
+pub fn level() -> Level {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v == UNINIT {
+        init_from_env()
+    } else {
+        from_u8(v)
+    }
+}
+
+/// Sets the threshold, overriding the environment.
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether messages at `l` are currently emitted.
+#[inline]
+pub fn enabled(l: Level) -> bool {
+    l <= level()
+}
+
+/// Writes one log line. Not called directly — use the macros, which check
+/// [`enabled`] first so disabled levels never format their arguments.
+#[doc(hidden)]
+pub fn emit(l: Level, args: std::fmt::Arguments<'_>) {
+    eprintln!("{}: {args}", l.as_str());
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::emit($crate::log::Level::Error, format_args!($($t)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Warn) {
+            $crate::log::emit($crate::log::Level::Warn, format_args!($($t)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::emit($crate::log::Level::Info, format_args!($($t)*));
+        }
+    };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($t:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::emit($crate::log::Level::Debug, format_args!($($t)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_levels() {
+        assert_eq!(Level::parse("error"), Some(Level::Error));
+        assert_eq!(Level::parse(" WARN "), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("Info"), Some(Level::Info));
+        assert_eq!(Level::parse("debug"), Some(Level::Debug));
+        assert_eq!(Level::parse("trace"), None);
+        assert_eq!(Level::parse(""), None);
+    }
+
+    #[test]
+    fn threshold_gates_levels() {
+        let prev = level();
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        set_level(prev);
+    }
+
+    #[test]
+    fn macros_compile_and_respect_threshold() {
+        let prev = level();
+        set_level(Level::Error);
+        // These must not panic and must not format when disabled: the
+        // argument position would panic if evaluated.
+        crate::debug!("not shown {}", {
+            // Evaluated only when debug is enabled.
+            "x"
+        });
+        crate::error!("shown: {}", 1 + 1);
+        set_level(prev);
+    }
+}

@@ -1,0 +1,342 @@
+//! Hierarchical RAII spans over a process-wide recorder.
+//!
+//! A span is opened with [`enter`] (or the [`crate::span!`] macro) and
+//! closed by dropping the returned [`SpanGuard`]. Nesting is tracked per
+//! thread; the chrome-trace exporter relies on time containment within one
+//! thread track, so no explicit parent ids are stored. The recorder has
+//! three modes (see [`Mode`]); everything is monotonic and thread-safe.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// What the recorder captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Mode {
+    /// Nothing. Entering a span costs one relaxed atomic load.
+    Off = 0,
+    /// Per-phase aggregates only ([`crate::summary`]).
+    Summary = 1,
+    /// Aggregates plus the bounded event buffer for chrome-trace export.
+    Full = 2,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(Mode::Off as u8);
+
+/// Cap on buffered events; completions beyond it are aggregated but not
+/// buffered, and counted in [`dropped_events`].
+pub const MAX_EVENTS: usize = 262_144;
+
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+
+/// Current recorder mode.
+#[inline]
+pub fn mode() -> Mode {
+    match MODE.load(Ordering::Relaxed) {
+        0 => Mode::Off,
+        1 => Mode::Summary,
+        _ => Mode::Full,
+    }
+}
+
+/// Sets the recorder mode.
+pub fn set_mode(m: Mode) {
+    MODE.store(m as u8, Ordering::Relaxed);
+}
+
+/// Raises the recorder mode if `m` is more detailed than the current one —
+/// safe to call from several subsystems without clobbering each other.
+pub fn enable_at_least(m: Mode) {
+    MODE.fetch_max(m as u8, Ordering::Relaxed);
+}
+
+/// Events dropped because the buffer hit [`MAX_EVENTS`].
+pub fn dropped_events() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+/// One completed span, ready for export.
+#[derive(Debug, Clone)]
+pub struct SpanEvent {
+    /// Static span name (see the naming table in the crate docs).
+    pub name: &'static str,
+    /// Optional static label (e.g. the sampling regime).
+    pub label: Option<&'static str>,
+    /// Numeric notes attached while the span was open.
+    pub notes: Vec<(&'static str, u64)>,
+    /// Small dense thread id (not the OS tid).
+    pub tid: u32,
+    /// Nesting depth on its thread when opened (0 = top level).
+    pub depth: u32,
+    /// Start, microseconds since the recorder epoch.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn events() -> &'static Mutex<Vec<SpanEvent>> {
+    static EVENTS: OnceLock<Mutex<Vec<SpanEvent>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Snapshot of the buffered events.
+pub fn snapshot_events() -> Vec<SpanEvent> {
+    events().lock().expect("span buffer poisoned").clone()
+}
+
+/// Number of buffered events.
+pub fn events_len() -> usize {
+    events().lock().expect("span buffer poisoned").len()
+}
+
+/// Clears buffered events and per-phase aggregates (counters and the mode
+/// are left untouched). Intended for process-owned flows — the CLI before a
+/// traced run, tests — not for concurrent servers, where clearing would
+/// race other threads' open spans.
+pub fn reset() {
+    events().lock().expect("span buffer poisoned").clear();
+    DROPPED.store(0, Ordering::Relaxed);
+    crate::summary::reset();
+}
+
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static TID: u32 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    static DEPTH: std::cell::Cell<u32> = const { std::cell::Cell::new(0) };
+}
+
+/// RAII guard for one span; records on drop. Inactive guards (recorder off)
+/// do nothing.
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct SpanGuard {
+    name: &'static str,
+    label: Option<&'static str>,
+    notes: Vec<(&'static str, u64)>,
+    /// `None` while the recorder is off — an inactive guard never reads the
+    /// clock.
+    start: Option<Instant>,
+    depth: u32,
+}
+
+impl SpanGuard {
+    /// Attaches a numeric note, exported as a chrome-trace `args` entry.
+    /// No-op on an inactive guard.
+    #[inline]
+    pub fn note(&mut self, key: &'static str, value: u64) {
+        if self.start.is_some() {
+            self.notes.push((key, value));
+        }
+    }
+
+    /// Adds `delta` to an existing note or creates it — for accumulating
+    /// counts across loop iterations inside one span.
+    #[inline]
+    pub fn add_note(&mut self, key: &'static str, delta: u64) {
+        if self.start.is_none() {
+            return;
+        }
+        match self.notes.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => *v += delta,
+            None => self.notes.push((key, delta)),
+        }
+    }
+
+    /// Whether this guard is recording (recorder was on at entry).
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.start.is_some()
+    }
+}
+
+/// Opens a span. Prefer the [`crate::span!`] macro.
+#[inline]
+pub fn enter(name: &'static str, label: Option<&'static str>) -> SpanGuard {
+    if mode() == Mode::Off {
+        return SpanGuard {
+            name,
+            label,
+            notes: Vec::new(),
+            start: None,
+            depth: 0,
+        };
+    }
+    enter_slow(name, label)
+}
+
+#[cold]
+fn enter_slow(name: &'static str, label: Option<&'static str>) -> SpanGuard {
+    let depth = DEPTH.with(|d| {
+        let v = d.get();
+        d.set(v + 1);
+        v
+    });
+    SpanGuard {
+        name,
+        label,
+        notes: Vec::new(),
+        start: Some(Instant::now()),
+        depth,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else {
+            return;
+        };
+        let dur = start.elapsed();
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        crate::summary::record(self.name, dur);
+        if mode() == Mode::Full {
+            let start_us = start
+                .saturating_duration_since(epoch())
+                .as_micros()
+                .min(u64::MAX as u128) as u64;
+            let event = SpanEvent {
+                name: self.name,
+                label: self.label,
+                notes: std::mem::take(&mut self.notes),
+                tid: TID.with(|t| *t),
+                depth: self.depth,
+                start_us,
+                dur_us: dur.as_micros().min(u64::MAX as u128) as u64,
+            };
+            let mut buf = events().lock().expect("span buffer poisoned");
+            if buf.len() < MAX_EVENTS {
+                buf.push(event);
+            } else {
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Opens a span guard: `let _sp = obs::span!("learn");` or, with a static
+/// label, `obs::span!("bc.build", "naive")`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name, None)
+    };
+    ($name:expr, $label:expr) => {
+        $crate::span::enter($name, Some($label))
+    };
+}
+
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    match LOCK.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let _g = test_lock();
+        set_mode(Mode::Off);
+        reset();
+        {
+            let mut sp = crate::span!("test.off");
+            sp.note("k", 1);
+            assert!(!sp.is_active());
+        }
+        assert_eq!(events_len(), 0);
+        assert!(crate::summary::phase_snapshot().is_empty());
+    }
+
+    /// The acceptance bound is "one relaxed atomic per event" when tracing
+    /// is off; this smoke-checks that 100k disabled spans finish in time
+    /// that only a pathologically slower implementation (allocation, locks,
+    /// clock reads) would exceed. The real comparison lives in the
+    /// `obs_overhead` bench.
+    #[test]
+    fn off_mode_spans_are_cheap() {
+        let _g = test_lock();
+        set_mode(Mode::Off);
+        let t0 = Instant::now();
+        for _ in 0..100_000 {
+            let _sp = crate::span!("test.cheap");
+        }
+        assert!(
+            t0.elapsed() < Duration::from_millis(500),
+            "100k disabled spans took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn full_mode_buffers_nested_events() {
+        let _g = test_lock();
+        set_mode(Mode::Full);
+        reset();
+        {
+            let mut outer = crate::span!("test.outer");
+            outer.note("n", 7);
+            outer.add_note("n", 3);
+            std::thread::sleep(Duration::from_millis(2));
+            {
+                let _inner = crate::span!("test.inner", "labelled");
+            }
+        }
+        set_mode(Mode::Off);
+        let evs = snapshot_events();
+        assert_eq!(evs.len(), 2);
+        // Inner completes (and is buffered) first.
+        let inner = &evs[0];
+        let outer = &evs[1];
+        assert_eq!(inner.name, "test.inner");
+        assert_eq!(inner.label, Some("labelled"));
+        assert_eq!(inner.depth, outer.depth + 1);
+        assert_eq!(outer.notes, vec![("n", 10)]);
+        assert!(outer.dur_us >= inner.dur_us);
+        // Containment: inner lies within outer on the same thread.
+        assert_eq!(inner.tid, outer.tid);
+        assert!(inner.start_us >= outer.start_us);
+        assert!(inner.start_us + inner.dur_us <= outer.start_us + outer.dur_us);
+        reset();
+    }
+
+    #[test]
+    fn summary_mode_aggregates_without_buffering() {
+        let _g = test_lock();
+        set_mode(Mode::Summary);
+        reset();
+        for _ in 0..3 {
+            let _sp = crate::span!("test.agg");
+        }
+        set_mode(Mode::Off);
+        assert_eq!(events_len(), 0);
+        let phases = crate::summary::phase_snapshot();
+        let agg = phases.iter().find(|p| p.name == "test.agg").unwrap();
+        assert_eq!(agg.count, 3);
+        reset();
+    }
+
+    #[test]
+    fn enable_at_least_never_downgrades() {
+        let _g = test_lock();
+        set_mode(Mode::Full);
+        enable_at_least(Mode::Summary);
+        assert_eq!(mode(), Mode::Full);
+        enable_at_least(Mode::Full);
+        assert_eq!(mode(), Mode::Full);
+        set_mode(Mode::Off);
+        enable_at_least(Mode::Summary);
+        assert_eq!(mode(), Mode::Summary);
+        set_mode(Mode::Off);
+    }
+}

@@ -1,0 +1,199 @@
+//! Flat per-phase statistics: every span completion (in `Summary` or `Full`
+//! mode) is folded into a count / total / max / latency-bucket aggregate
+//! keyed by span name. [`phase_snapshot`] is the raw data the serving layer
+//! renders as Prometheus histograms; [`render_summary_table`] is the human
+//! view printed by `autobias learn --profile`.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Duration;
+
+/// Histogram bucket upper bounds in **seconds**, shared with the Prometheus
+/// exporter in `crates/serve` (`autobias_phase_duration_seconds`). The last
+/// bucket is `+Inf`, per the Prometheus histogram convention. Spans range
+/// from sub-millisecond (one θ-subsumption batch) to tens of seconds (a
+/// whole learn on IMDb-scale data), hence the wide log-ish spread.
+pub const PHASE_BUCKETS: [f64; 9] = [
+    0.000_1,
+    0.001,
+    0.01,
+    0.05,
+    0.25,
+    1.0,
+    5.0,
+    30.0,
+    f64::INFINITY,
+];
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Agg {
+    count: u64,
+    total_us: u64,
+    max_us: u64,
+    buckets: [u64; PHASE_BUCKETS.len()],
+}
+
+/// Aggregated wall-clock statistics for one span name (one pipeline phase).
+#[derive(Debug, Clone)]
+pub struct PhaseStat {
+    /// Span name (see the naming table in the crate docs).
+    pub name: &'static str,
+    /// Completed spans observed.
+    pub count: u64,
+    /// Sum of span durations, microseconds.
+    pub total_us: u64,
+    /// Longest single span, microseconds.
+    pub max_us: u64,
+    /// Per-bucket counts (NOT cumulative) aligned with [`PHASE_BUCKETS`];
+    /// exporters cumulate when rendering Prometheus `_bucket` series.
+    pub bucket_counts: [u64; PHASE_BUCKETS.len()],
+}
+
+impl PhaseStat {
+    /// Mean span duration in microseconds (0 when no spans completed).
+    pub fn mean_us(&self) -> u64 {
+        self.total_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Total time in this phase, seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.total_us as f64 / 1e6
+    }
+}
+
+fn table() -> &'static Mutex<HashMap<&'static str, Agg>> {
+    static TABLE: OnceLock<Mutex<HashMap<&'static str, Agg>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Folds one completed span into the aggregate for `name`. Called from the
+/// span guard's `Drop`; the lock is held only for the hash-map update.
+pub(crate) fn record(name: &'static str, dur: Duration) {
+    let us = dur.as_micros().min(u64::MAX as u128) as u64;
+    let secs = dur.as_secs_f64();
+    let bucket = PHASE_BUCKETS
+        .iter()
+        .position(|&le| secs <= le)
+        .unwrap_or(PHASE_BUCKETS.len() - 1);
+    let mut t = table().lock().expect("phase table poisoned");
+    let a = t.entry(name).or_default();
+    a.count += 1;
+    a.total_us += us;
+    a.max_us = a.max_us.max(us);
+    a.buckets[bucket] += 1;
+}
+
+/// Clears the aggregates (called from [`crate::span::reset`]).
+pub(crate) fn reset() {
+    table().lock().expect("phase table poisoned").clear();
+}
+
+/// Snapshot of all phase aggregates, sorted by name for determinism.
+pub fn phase_snapshot() -> Vec<PhaseStat> {
+    let t = table().lock().expect("phase table poisoned");
+    let mut out: Vec<PhaseStat> = t
+        .iter()
+        .map(|(&name, a)| PhaseStat {
+            name,
+            count: a.count,
+            total_us: a.total_us,
+            max_us: a.max_us,
+            bucket_counts: a.buckets,
+        })
+        .collect();
+    out.sort_by_key(|p| p.name);
+    out
+}
+
+/// Formats microseconds as a human duration (`873µs`, `12.3ms`, `4.56s`).
+fn fmt_us(us: u64) -> String {
+    if us < 1_000 {
+        format!("{us}µs")
+    } else if us < 1_000_000 {
+        format!("{:.1}ms", us as f64 / 1e3)
+    } else {
+        format!("{:.2}s", us as f64 / 1e6)
+    }
+}
+
+/// Renders the per-phase summary table printed by `--profile`, sorted by
+/// total time descending so the dominating phase is on top.
+pub fn render_summary_table() -> String {
+    let mut phases = phase_snapshot();
+    phases.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(b.name)));
+    let name_w = phases
+        .iter()
+        .map(|p| p.name.len())
+        .chain(std::iter::once("phase".len()))
+        .max()
+        .unwrap_or(5);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:name_w$}  {:>9}  {:>10}  {:>10}  {:>10}\n",
+        "phase", "count", "total", "mean", "max"
+    ));
+    for p in &phases {
+        out.push_str(&format!(
+            "{:name_w$}  {:>9}  {:>10}  {:>10}  {:>10}\n",
+            p.name,
+            p.count,
+            fmt_us(p.total_us),
+            fmt_us(p.mean_us()),
+            fmt_us(p.max_us),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_all_durations() {
+        // Last bucket is +Inf so any duration lands somewhere, and bounds
+        // are strictly increasing (the exporter relies on both).
+        assert_eq!(*PHASE_BUCKETS.last().unwrap(), f64::INFINITY);
+        for w in PHASE_BUCKETS.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn record_aggregates_and_buckets() {
+        let _g = crate::span::test_lock();
+        reset();
+        record("test.sum", Duration::from_micros(50)); // ≤ 0.1ms bucket
+        record("test.sum", Duration::from_millis(2)); // ≤ 10ms bucket
+        record("test.sum", Duration::from_millis(2));
+        let snap = phase_snapshot();
+        let p = snap.iter().find(|p| p.name == "test.sum").unwrap();
+        assert_eq!(p.count, 3);
+        assert_eq!(p.max_us, 2_000);
+        assert_eq!(p.mean_us(), (50 + 2_000 + 2_000) / 3);
+        assert_eq!(p.bucket_counts[0], 1);
+        assert_eq!(p.bucket_counts.iter().sum::<u64>(), 3);
+        reset();
+    }
+
+    #[test]
+    fn summary_table_sorted_by_total() {
+        let _g = crate::span::test_lock();
+        reset();
+        record("test.fast", Duration::from_micros(10));
+        record("test.slow", Duration::from_secs(1));
+        let table = render_summary_table();
+        let slow = table.find("test.slow").unwrap();
+        let fast = table.find("test.fast").unwrap();
+        assert!(slow < fast, "dominating phase first:\n{table}");
+        assert!(table.starts_with("phase"));
+        reset();
+    }
+
+    #[test]
+    fn fmt_us_scales_units() {
+        assert_eq!(fmt_us(873), "873µs");
+        assert_eq!(fmt_us(12_300), "12.3ms");
+        assert_eq!(fmt_us(4_560_000), "4.56s");
+    }
+}

@@ -182,6 +182,10 @@ pub struct JobStatus {
     pub uncovered_pos: usize,
     /// Wall-clock seconds once terminal.
     pub elapsed_secs: Option<f64>,
+    /// Seconds spent building ground bottom clauses, once terminal.
+    pub bc_secs: Option<f64>,
+    /// Seconds spent in clause search (the covering loop), once terminal.
+    pub search_secs: Option<f64>,
 }
 
 /// One background learning job.
@@ -256,6 +260,8 @@ impl JobManager {
                 clauses: 0,
                 uncovered_pos: 0,
                 elapsed_secs: None,
+                bc_secs: None,
+                search_secs: None,
             }),
             cancel: AtomicBool::new(false),
             handle: Mutex::new(None),
@@ -282,6 +288,8 @@ impl JobManager {
                         s.clauses = outcome.clauses;
                         s.uncovered_pos = outcome.uncovered_pos;
                         s.elapsed_secs = Some(elapsed);
+                        s.bc_secs = Some(outcome.bc_secs);
+                        s.search_secs = Some(outcome.search_secs);
                     }),
                     Ok(Err(msg)) => worker_job.set_status(|s| {
                         s.state = JobState::Failed;
@@ -352,6 +360,8 @@ struct LearnOutcome {
     detail: String,
     clauses: usize,
     uncovered_pos: usize,
+    bc_secs: f64,
+    search_secs: f64,
 }
 
 fn run_learn(
@@ -409,6 +419,8 @@ fn run_learn(
         ),
         clauses,
         uncovered_pos,
+        bc_secs: stats.bc_time.as_secs_f64(),
+        search_secs: stats.search_time.as_secs_f64(),
     })
 }
 

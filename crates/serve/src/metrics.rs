@@ -3,9 +3,21 @@
 //! Everything is lock-free: per-endpoint request counters and fixed-bucket
 //! latency histograms are relaxed atomics, bumped on the request path and
 //! read (without a consistent snapshot — Prometheus semantics) by
-//! `GET /metrics`. Core-engine counters from [`autobias::instrument`] are
-//! re-exported under `autobias_core_*` so one scrape shows both the HTTP
-//! traffic and the learning/inference work it caused.
+//! `GET /metrics`. One scrape shows four families:
+//!
+//! - HTTP traffic: `autobias_requests_total`, `autobias_request_errors_total`,
+//!   `autobias_request_duration_seconds` (owned by [`Metrics`]);
+//! - pipeline phases: `autobias_phase_duration_seconds{phase="..."}`
+//!   histograms from the [`obs`] span recorder (the server runs it in
+//!   `Summary` mode);
+//! - every counter in the [`obs::metrics`] registry (`autobias_core_*` from
+//!   the learner plus anything future crates register);
+//! - point-in-time gauges supplied by the caller ([`GaugeSample`]).
+//!
+//! Conformance: every series gets `# HELP` and `# TYPE` lines, label values
+//! are escaped per the text-format spec, and histogram `_bucket`/`_sum`/
+//! `_count` invariants hold (cumulative buckets ending in `+Inf` == count).
+//! The unit tests parse the rendered output and check those invariants.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -44,6 +56,55 @@ const ENDPOINTS: [(Endpoint, &str); 7] = [
 /// regimes this server sees: sub-millisecond index probes and multi-second
 /// learning-job submissions.
 const BUCKETS: [f64; 8] = [0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, f64::INFINITY];
+
+/// A point-in-time gauge owned by another subsystem (loaded models, running
+/// jobs, sampler acceptance rate), rendered with its own HELP/TYPE lines.
+#[derive(Debug, Clone, Copy)]
+pub struct GaugeSample {
+    /// Metric name (no labels).
+    pub name: &'static str,
+    /// `# HELP` text.
+    pub help: &'static str,
+    /// Current value.
+    pub value: f64,
+}
+
+/// Escapes a label value per the Prometheus text format: backslash, double
+/// quote, and newline.
+pub(crate) fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes `# HELP` text per the Prometheus text format: backslash and
+/// newline (quotes are fine in help text).
+fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_le(le: f64) -> String {
+    if le.is_infinite() {
+        "+Inf".to_string()
+    } else {
+        format!("{le}")
+    }
+}
 
 #[derive(Default)]
 struct EndpointStats {
@@ -98,16 +159,17 @@ impl Metrics {
     }
 
     /// Renders the Prometheus text format. `gauges` supplies point-in-time
-    /// values owned by other subsystems (loaded models, running jobs).
-    pub fn render(&self, gauges: &[(&str, u64)]) -> String {
-        let mut out = String::with_capacity(4096);
+    /// values owned by other subsystems.
+    pub fn render(&self, gauges: &[GaugeSample]) -> String {
+        let mut out = String::with_capacity(8192);
 
         out.push_str("# HELP autobias_requests_total Requests handled, by endpoint.\n");
         out.push_str("# TYPE autobias_requests_total counter\n");
         for (i, &(_, name)) in ENDPOINTS.iter().enumerate() {
             let n = self.stats[i].requests.load(Ordering::Relaxed);
             out.push_str(&format!(
-                "autobias_requests_total{{endpoint=\"{name}\"}} {n}\n"
+                "autobias_requests_total{{endpoint=\"{}\"}} {n}\n",
+                escape_label_value(name)
             ));
         }
 
@@ -116,7 +178,8 @@ impl Metrics {
         for (i, &(_, name)) in ENDPOINTS.iter().enumerate() {
             let n = self.stats[i].errors.load(Ordering::Relaxed);
             out.push_str(&format!(
-                "autobias_request_errors_total{{endpoint=\"{name}\"}} {n}\n"
+                "autobias_request_errors_total{{endpoint=\"{}\"}} {n}\n",
+                escape_label_value(name)
             ));
         }
 
@@ -126,16 +189,13 @@ impl Metrics {
         );
         for (i, &(_, name)) in ENDPOINTS.iter().enumerate() {
             let s = &self.stats[i];
+            let name = escape_label_value(name);
             let mut cumulative = 0u64;
             for (bi, &le) in BUCKETS.iter().enumerate() {
                 cumulative += s.bucket_counts[bi].load(Ordering::Relaxed);
-                let le = if le.is_infinite() {
-                    "+Inf".to_string()
-                } else {
-                    format!("{le}")
-                };
                 out.push_str(&format!(
-                    "autobias_request_duration_seconds_bucket{{endpoint=\"{name}\",le=\"{le}\"}} {cumulative}\n"
+                    "autobias_request_duration_seconds_bucket{{endpoint=\"{name}\",le=\"{}\"}} {cumulative}\n",
+                    fmt_le(le)
                 ));
             }
             let sum = s.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
@@ -146,30 +206,80 @@ impl Metrics {
             ));
         }
 
-        let core = autobias::instrument::snapshot();
+        render_phase_histograms(&mut out);
+        render_registered_counters(&mut out);
+
+        out.push_str(
+            "# HELP autobias_trace_dropped_events_total Span events dropped by the bounded trace buffer.\n\
+             # TYPE autobias_trace_dropped_events_total counter\n",
+        );
         out.push_str(&format!(
-            "# HELP autobias_core_subsumption_tests_total Theta-subsumption tests started.\n\
-             # TYPE autobias_core_subsumption_tests_total counter\n\
-             autobias_core_subsumption_tests_total {}\n\
-             # HELP autobias_core_coverage_queries_total Direct SPJ coverage queries started.\n\
-             # TYPE autobias_core_coverage_queries_total counter\n\
-             autobias_core_coverage_queries_total {}\n\
-             # HELP autobias_core_bottom_clauses_total Bottom clauses constructed.\n\
-             # TYPE autobias_core_bottom_clauses_total counter\n\
-             autobias_core_bottom_clauses_total {}\n",
-            core.subsumption_tests, core.coverage_queries, core.bottom_clauses_built
+            "autobias_trace_dropped_events_total {}\n",
+            obs::span::dropped_events()
         ));
 
-        for &(name, value) in gauges {
-            out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+        for g in gauges {
+            out.push_str(&format!(
+                "# HELP {} {}\n# TYPE {} gauge\n{} {}\n",
+                g.name,
+                escape_help(g.help),
+                g.name,
+                g.name,
+                g.value
+            ));
         }
         out
+    }
+}
+
+/// Renders `autobias_phase_duration_seconds{phase="..."}` histograms from
+/// the span recorder's per-phase aggregates. The recorder's buckets are
+/// per-bucket counts; Prometheus `_bucket` series are cumulative.
+fn render_phase_histograms(out: &mut String) {
+    out.push_str(
+        "# HELP autobias_phase_duration_seconds Pipeline phase wall-clock, by span name.\n\
+         # TYPE autobias_phase_duration_seconds histogram\n",
+    );
+    for p in obs::phase_snapshot() {
+        let phase = escape_label_value(p.name);
+        let mut cumulative = 0u64;
+        for (bi, &le) in obs::PHASE_BUCKETS.iter().enumerate() {
+            cumulative += p.bucket_counts[bi];
+            out.push_str(&format!(
+                "autobias_phase_duration_seconds_bucket{{phase=\"{phase}\",le=\"{}\"}} {cumulative}\n",
+                fmt_le(le)
+            ));
+        }
+        out.push_str(&format!(
+            "autobias_phase_duration_seconds_sum{{phase=\"{phase}\"}} {}\n\
+             autobias_phase_duration_seconds_count{{phase=\"{phase}\"}} {}\n",
+            p.total_secs(),
+            p.count
+        ));
+    }
+}
+
+/// Renders every counter in the [`obs::metrics`] registry. The core
+/// learner's counters are registered via `autobias::instrument::register`,
+/// so a scrape sees them even before the first learning job runs.
+fn render_registered_counters(out: &mut String) {
+    autobias::instrument::register();
+    for c in obs::metrics::registered() {
+        out.push_str(&format!(
+            "# HELP {} {}\n# TYPE {} counter\n{} {}\n",
+            c.name(),
+            escape_help(c.help()),
+            c.name(),
+            c.name(),
+            c.get()
+        ));
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::{HashMap, HashSet};
 
     #[test]
     fn observe_counts_and_buckets() {
@@ -177,7 +287,11 @@ mod tests {
         m.observe(Endpoint::Predict, Duration::from_micros(500), false);
         m.observe(Endpoint::Predict, Duration::from_millis(50), true);
         assert_eq!(m.requests(Endpoint::Predict), 2);
-        let text = m.render(&[("autobias_models_loaded", 3)]);
+        let text = m.render(&[GaugeSample {
+            name: "autobias_models_loaded",
+            help: "Models in the registry.",
+            value: 3.0,
+        }]);
         assert!(text.contains("autobias_requests_total{endpoint=\"predict\"} 2"));
         assert!(text.contains("autobias_request_errors_total{endpoint=\"predict\"} 1"));
         // 500µs lands in the 0.001 bucket; cumulative counts reach 2 at +Inf.
@@ -189,5 +303,123 @@ mod tests {
         ));
         assert!(text.contains("autobias_models_loaded 3"));
         assert!(text.contains("autobias_core_subsumption_tests_total"));
+        assert!(text.contains("autobias_phase_duration_seconds"));
+        assert!(text.contains("autobias_trace_dropped_events_total"));
+    }
+
+    #[test]
+    fn escaping_label_values_and_help() {
+        assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_help("line1\nline2 \\x"), "line1\\nline2 \\\\x");
+    }
+
+    /// Family name of a sample line: the metric name with any histogram
+    /// suffix stripped when that family is declared as a histogram.
+    fn family_of<'a>(name: &'a str, histograms: &HashSet<&str>) -> &'a str {
+        for suffix in ["_bucket", "_sum", "_count"] {
+            if let Some(base) = name.strip_suffix(suffix) {
+                if histograms.contains(base) {
+                    return base;
+                }
+            }
+        }
+        name
+    }
+
+    /// Parses the rendered exposition text and checks the conformance
+    /// invariants promised by the module docs: HELP+TYPE for every series,
+    /// histogram buckets cumulative and ending in `+Inf` == `_count`.
+    #[test]
+    fn rendered_output_is_conformant() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Predict, Duration::from_micros(500), false);
+        m.observe(Endpoint::Jobs, Duration::from_secs(100), false); // +Inf-only bucket
+        {
+            // Make sure at least one phase aggregate exists.
+            obs::enable_at_least(obs::Mode::Summary);
+            let _sp = obs::span!("test.metrics_conformance");
+        }
+        let text = m.render(&[GaugeSample {
+            name: "autobias_jobs_running",
+            help: "Jobs currently running.",
+            value: 0.0,
+        }]);
+
+        let mut helps: HashSet<String> = HashSet::new();
+        let mut types: HashMap<String, String> = HashMap::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                helps.insert(rest.split(' ').next().unwrap().to_string());
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split(' ');
+                let name = it.next().unwrap().to_string();
+                let ty = it.next().expect("TYPE line has a type").to_string();
+                types.insert(name, ty);
+            }
+        }
+        let histograms: HashSet<&str> = types
+            .iter()
+            .filter(|(_, t)| t.as_str() == "histogram")
+            .map(|(n, _)| n.as_str())
+            .collect();
+
+        // Histogram series keyed by (family, non-le labels).
+        let mut buckets: HashMap<(String, String), Vec<(String, u64)>> = HashMap::new();
+        let mut counts: HashMap<(String, String), u64> = HashMap::new();
+
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line has a value");
+            let (name, labels) = match series.split_once('{') {
+                Some((n, l)) => (n, l.trim_end_matches('}')),
+                None => (series, ""),
+            };
+            let family = family_of(name, &histograms);
+            assert!(helps.contains(family), "no # HELP for {name}: {line}");
+            assert!(types.contains_key(family), "no # TYPE for {name}: {line}");
+
+            if histograms.contains(family) {
+                let non_le: Vec<&str> = labels
+                    .split(',')
+                    .filter(|kv| !kv.is_empty() && !kv.starts_with("le="))
+                    .collect();
+                let key = (family.to_string(), non_le.join(","));
+                if name.ends_with("_bucket") {
+                    let le = labels
+                        .split(',')
+                        .find_map(|kv| kv.strip_prefix("le=\""))
+                        .expect("bucket has le label")
+                        .trim_end_matches('"');
+                    buckets
+                        .entry(key)
+                        .or_default()
+                        .push((le.to_string(), value.parse().unwrap()));
+                } else if name.ends_with("_count") {
+                    counts.insert(key, value.parse().unwrap());
+                }
+            }
+        }
+
+        assert!(!buckets.is_empty(), "no histogram series rendered");
+        for (key, series) in &buckets {
+            // Buckets appear in declaration order; counts must be
+            // nondecreasing and the last bucket must be +Inf == _count.
+            for w in series.windows(2) {
+                assert!(w[0].1 <= w[1].1, "{key:?}: non-cumulative buckets");
+            }
+            let (last_le, last_n) = series.last().unwrap();
+            assert_eq!(last_le, "+Inf", "{key:?}: last bucket must be +Inf");
+            let count = counts
+                .get(key)
+                .unwrap_or_else(|| panic!("{key:?}: no _count"));
+            assert_eq!(last_n, count, "{key:?}: +Inf bucket != _count");
+        }
+
+        // The gauge got HELP and TYPE too.
+        assert!(helps.contains("autobias_jobs_running"));
+        assert_eq!(types["autobias_jobs_running"], "gauge");
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::http::{read_request, write_response, HttpError, Request};
 use crate::jobs::{JobManager, JobSpec};
-use crate::metrics::{Endpoint, Metrics};
+use crate::metrics::{Endpoint, GaugeSample, Metrics};
 use crate::pool::WorkerPool;
 use crate::registry::ModelRegistry;
 use autobias::example::{parse_arg_tuple, Example};
@@ -90,6 +90,10 @@ impl ServerHandle {
 /// handle plus the names of models loaded at startup and any per-file parse
 /// errors (non-fatal).
 pub fn serve(cfg: &ServeConfig) -> Result<(ServerHandle, crate::registry::ReloadReport), String> {
+    // Per-phase aggregates power the /metrics phase histograms; the bounded
+    // event buffer (Full mode) is a CLI concern, not a server one.
+    obs::enable_at_least(obs::Mode::Summary);
+    autobias::instrument::register();
     let ds = load_dataset(&cfg.data_dir)
         .map_err(|e| format!("loading {}: {e}", cfg.data_dir.display()))?;
     let (registry, report) = ModelRegistry::open(&ds.db, &cfg.models_dir)
@@ -178,11 +182,39 @@ fn route(state: &Arc<AppState>, req: &Request) -> (Endpoint, u16, &'static str, 
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (Endpoint::Healthz, 200, "OK", "ok\n".to_string()),
         ("GET", "/metrics") => {
+            let draws = autobias::instrument::BC_WALK_DRAWS.get();
+            let accepted = autobias::instrument::BC_WALK_ACCEPTED.get();
+            let acceptance = if draws > 0 {
+                accepted as f64 / draws as f64
+            } else {
+                0.0
+            };
             let gauges = [
-                ("autobias_models_loaded", state.registry.len() as u64),
-                ("autobias_jobs_running", state.jobs.running_count()),
-                ("autobias_jobs_total", state.jobs.list().len() as u64),
-                ("autobias_dataset_tuples", state.ds.db.total_tuples() as u64),
+                GaugeSample {
+                    name: "autobias_models_loaded",
+                    help: "Models currently in the registry.",
+                    value: state.registry.len() as f64,
+                },
+                GaugeSample {
+                    name: "autobias_jobs_running",
+                    help: "Learning jobs currently running.",
+                    value: state.jobs.running_count() as f64,
+                },
+                GaugeSample {
+                    name: "autobias_jobs_total",
+                    help: "Learning jobs submitted since startup.",
+                    value: state.jobs.list().len() as f64,
+                },
+                GaugeSample {
+                    name: "autobias_dataset_tuples",
+                    help: "Tuples in the resident dataset.",
+                    value: state.ds.db.total_tuples() as f64,
+                },
+                GaugeSample {
+                    name: "autobias_sampler_acceptance_ratio",
+                    help: "Accepted fraction of accept-reject semijoin walk draws (0 before any Random-sampling BC build).",
+                    value: acceptance,
+                },
             ];
             (Endpoint::Metrics, 200, "OK", state.metrics.render(&gauges))
         }
@@ -313,6 +345,12 @@ fn render_job(job: &crate::jobs::Job) -> String {
     );
     if let Some(secs) = s.elapsed_secs {
         out.push_str(&format!("elapsed {secs:.3}\n"));
+    }
+    if let Some(secs) = s.bc_secs {
+        out.push_str(&format!("phase bc_build {secs:.3}\n"));
+    }
+    if let Some(secs) = s.search_secs {
+        out.push_str(&format!("phase clause_search {secs:.3}\n"));
     }
     if !s.detail.is_empty() {
         out.push_str(&format!("detail {}\n", s.detail));

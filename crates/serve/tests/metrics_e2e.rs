@@ -1,0 +1,176 @@
+//! End-to-end observability test: boot the server, drive a `/predict` and a
+//! `/jobs/learn` to completion, and assert that the phase-duration
+//! histograms and core pipeline counters show up in `/metrics` with nonzero
+//! values, and that the job status exposes per-phase timings.
+
+use autobias_serve::{serve, ServeConfig};
+use datasets::io::save_dataset;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+const COAUTHOR_MODEL: &str = "advisedBy(x, y) ← publication(z, x), publication(z, y)\n";
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    conn.write_all(head.as_bytes()).unwrap();
+    conn.write_all(body.as_bytes()).unwrap();
+    conn.flush().unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read response");
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparsable response: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+fn setup_dirs(tag: &str) -> (PathBuf, PathBuf) {
+    let base = std::env::temp_dir().join(format!("autobias_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let data = base.join("data");
+    let models = base.join("models");
+    let ds = datasets::uw::generate(
+        &datasets::uw::UwConfig {
+            students: 20,
+            professors: 8,
+            courses: 10,
+            advised_pairs: 10,
+            negatives: 20,
+            evidence_prob: 1.0,
+            ..datasets::uw::UwConfig::default()
+        },
+        13,
+    );
+    save_dataset(&ds, &data).expect("save dataset");
+    std::fs::create_dir_all(&models).unwrap();
+    std::fs::write(models.join("coauthor.model"), COAUTHOR_MODEL).unwrap();
+    (data, models)
+}
+
+/// Value of an unlabeled counter/gauge sample line in exposition text.
+fn sample_value(metrics: &str, name: &str) -> f64 {
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("no sample for {name}"))
+        .trim()
+        .parse()
+        .unwrap_or_else(|e| panic!("unparsable value for {name}: {e}"))
+}
+
+/// `_count` of one phase's `autobias_phase_duration_seconds` histogram.
+fn phase_count(metrics: &str, phase: &str) -> u64 {
+    let prefix = format!("autobias_phase_duration_seconds_count{{phase=\"{phase}\"}} ");
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(prefix.as_str()))
+        .unwrap_or_else(|| panic!("no phase histogram for {phase:?}"))
+        .trim()
+        .parse()
+        .expect("count parses")
+}
+
+#[test]
+fn metrics_expose_phase_histograms_and_core_counters() {
+    let (data, models) = setup_dirs("metrics_e2e");
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        data_dir: data,
+        models_dir: models,
+        threads: 2,
+    };
+    let (handle, _report) = serve(&cfg).expect("server boots");
+    let addr = handle.addr();
+
+    // Drive a prediction (bumps the SPJ coverage counter)...
+    let (status, body) = request(addr, "POST", "/predict", "model coauthor\ns1,p1\n");
+    assert_eq!(status, 200, "{body}");
+
+    // ...and a learning job to completion (bumps everything else).
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/jobs/learn",
+        "name m1\nbias manual\nmax-clauses 2\n",
+    );
+    assert_eq!(status, 202, "{body}");
+    let id = body
+        .lines()
+        .find_map(|l| l.strip_prefix("id "))
+        .expect("job id")
+        .to_string();
+    let t0 = Instant::now();
+    let final_body = loop {
+        let (status, body) = request(addr, "GET", &format!("/jobs/{id}"), "");
+        assert_eq!(status, 200, "{body}");
+        let state = body
+            .lines()
+            .find_map(|l| l.strip_prefix("state "))
+            .expect("state line")
+            .to_string();
+        if matches!(state.as_str(), "done" | "cancelled" | "failed") {
+            assert_eq!(state, "done", "{body}");
+            break body;
+        }
+        assert!(t0.elapsed() < Duration::from_secs(120), "job stuck: {body}");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    // Per-job phase stats in GET /jobs/{id}.
+    assert!(
+        final_body.lines().any(|l| l.starts_with("phase bc_build ")),
+        "no bc_build phase line: {final_body}"
+    );
+    assert!(
+        final_body
+            .lines()
+            .any(|l| l.starts_with("phase clause_search ")),
+        "no clause_search phase line: {final_body}"
+    );
+
+    let (status, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+
+    // Phase histograms are present with nonzero counts for the learning
+    // pipeline phases the job exercised.
+    for phase in ["learn", "learn.bc_build", "bc.build", "coverage.theta"] {
+        assert!(
+            phase_count(&metrics, phase) > 0,
+            "phase {phase} has count 0"
+        );
+    }
+
+    // Core counters from the one registry, nonzero after the traffic above.
+    for counter in [
+        "autobias_core_subsumption_tests_total",
+        "autobias_core_bottom_clauses_total",
+        "autobias_core_coverage_queries_total",
+        "autobias_core_candidates_generated_total",
+        "autobias_core_clauses_accepted_total",
+    ] {
+        assert!(
+            sample_value(&metrics, counter) > 0.0,
+            "{counter} is zero:\n{metrics}"
+        );
+    }
+
+    // The acceptance-rate gauge renders (0 unless Random sampling ran).
+    assert!(metrics.contains("autobias_sampler_acceptance_ratio "));
+
+    let (status, _) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join();
+}
