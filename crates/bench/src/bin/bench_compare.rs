@@ -1,0 +1,67 @@
+//! CI perf-regression gate: compares a fresh `BENCH_<dataset>.json` (from
+//! `bench_json`) against a committed baseline and exits non-zero if any
+//! method got materially slower or worse.
+//!
+//! Usage:
+//!   bench_compare --baseline FILE --fresh FILE
+//!                 [--tolerance 2.0] [--phase-tolerance 2.0]
+//!                 [--min-phase-secs 0.01] [--quality-margin 0.05]
+//!
+//! Tolerances are ratios against the baseline (2.0 = "may take twice as
+//! long"); CI runners are noisy, so keep them generous and treat this as a
+//! tripwire for order-of-magnitude regressions, not a microbenchmark.
+
+use autobias_bench::compare::{compare, CompareConfig};
+use autobias_bench::harness::Args;
+use obs::json::Json;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let baseline_path = args
+        .get_str("--baseline")
+        .ok_or("missing --baseline FILE")?;
+    let fresh_path = args.get_str("--fresh").ok_or("missing --fresh FILE")?;
+    let cfg = CompareConfig {
+        time_tolerance: args.get("--tolerance", 2.0),
+        phase_tolerance: args.get("--phase-tolerance", 2.0),
+        min_phase_secs: args.get("--min-phase-secs", 0.01),
+        quality_margin: args.get("--quality-margin", 0.05),
+    };
+    let baseline = load(baseline_path)?;
+    let fresh = load(fresh_path)?;
+    let outcome = compare(&baseline, &fresh, &cfg)?;
+    println!(
+        "comparing {fresh_path} against {baseline_path} \
+         (time ≤ {}×, phases ≥ {:.3}s ≤ {}×, f-measure drop ≤ {}):",
+        cfg.time_tolerance, cfg.min_phase_secs, cfg.phase_tolerance, cfg.quality_margin
+    );
+    for line in &outcome.lines {
+        println!("  {line}");
+    }
+    if outcome.passed() {
+        println!("{} check(s) passed", outcome.checks);
+    } else {
+        println!(
+            "{} of {} check(s) regressed",
+            outcome.regressions.len(),
+            outcome.checks
+        );
+    }
+    Ok(outcome.passed())
+}
+
+fn main() -> ExitCode {
+    match run(&Args::parse()) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,305 @@
+//! Perf-regression comparison between two `BENCH_<dataset>.json` trajectory
+//! files (as written by the `bench_json` binary): a committed baseline and a
+//! fresh run. Used by the `bench_compare` binary as a CI gate.
+//!
+//! A regression is flagged when, for any method present in the baseline:
+//!
+//! - end-to-end `time_secs` exceeds `baseline × time_tolerance`;
+//! - any phase with a baseline `total_secs` above `min_phase_secs` exceeds
+//!   `baseline × phase_tolerance` (tiny phases are pure noise);
+//! - `f_measure` drops more than `quality_margin` below the baseline — a
+//!   speedup that loses recall is not a win;
+//! - a method or gated phase disappears from the fresh run (a structural
+//!   change that should come with a baseline refresh).
+//!
+//! Tolerances are deliberately ratio-based: baselines are recorded on
+//! whatever machine ran them, so only relative slowdowns are meaningful, and
+//! CI runners warrant generous ratios (the workflow uses ≥ 2×).
+
+use obs::json::Json;
+
+/// Thresholds for [`compare`]. Ratios are multiplicative (2.0 = "may take
+/// twice as long"), the quality margin is absolute in F-measure points.
+#[derive(Debug, Clone, Copy)]
+pub struct CompareConfig {
+    /// Allowed `fresh / baseline` ratio for end-to-end `time_secs`.
+    pub time_tolerance: f64,
+    /// Allowed `fresh / baseline` ratio for per-phase `total_secs`.
+    pub phase_tolerance: f64,
+    /// Phases whose baseline `total_secs` is below this are not gated.
+    pub min_phase_secs: f64,
+    /// Allowed absolute drop in `f_measure`.
+    pub quality_margin: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> Self {
+        Self {
+            time_tolerance: 2.0,
+            phase_tolerance: 2.0,
+            min_phase_secs: 0.01,
+            quality_margin: 0.05,
+        }
+    }
+}
+
+/// One failed check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Method label (`"Manual"`, `"AutoBias"`, ...).
+    pub method: String,
+    /// What regressed: `time_secs`, `f_measure`, or `phase:<name>`.
+    pub what: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value (NaN when the metric is missing from the fresh run).
+    pub fresh: f64,
+    /// The limit the fresh value violated.
+    pub limit: f64,
+}
+
+impl std::fmt::Display for Regression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.fresh.is_nan() {
+            write!(
+                f,
+                "{}/{}: missing from fresh run (baseline {:.4})",
+                self.method, self.what, self.baseline
+            )
+        } else {
+            write!(
+                f,
+                "{}/{}: {:.4} exceeds limit {:.4} (baseline {:.4})",
+                self.method, self.what, self.fresh, self.limit, self.baseline
+            )
+        }
+    }
+}
+
+/// Result of comparing a fresh trajectory file against a baseline.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Checks evaluated (time, quality, and gated phases per method).
+    pub checks: usize,
+    /// Checks that failed.
+    pub regressions: Vec<Regression>,
+    /// Human-readable `ok`-or-`FAIL` line per check, in evaluation order.
+    pub lines: Vec<String>,
+}
+
+impl Outcome {
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn method_names(doc: &Json) -> Result<Vec<String>, String> {
+    Ok(doc
+        .get("methods")
+        .and_then(Json::as_obj)
+        .ok_or("no \"methods\" object")?
+        .iter()
+        .map(|(name, _)| name.clone())
+        .collect())
+}
+
+/// Compares `fresh` against `baseline`, both parsed `BENCH_*.json` documents.
+/// Errors on structurally unusable input; regressions are data, not errors.
+pub fn compare(baseline: &Json, fresh: &Json, cfg: &CompareConfig) -> Result<Outcome, String> {
+    let mut out = Outcome::default();
+    let base_ds = baseline.get("dataset").and_then(Json::as_str);
+    let fresh_ds = fresh.get("dataset").and_then(Json::as_str);
+    if base_ds != fresh_ds {
+        return Err(format!(
+            "dataset mismatch: baseline {base_ds:?} vs fresh {fresh_ds:?}"
+        ));
+    }
+    for method in method_names(baseline)? {
+        let base = baseline
+            .path(&["methods", method.as_str()])
+            .expect("listed method");
+        if base.get("error").is_some() {
+            // The baseline recorded a failure for this method; nothing to gate.
+            continue;
+        }
+        let fresh_m = match fresh.path(&["methods", method.as_str()]) {
+            Some(m) if m.get("error").is_none() => m,
+            _ => {
+                out.checks += 1;
+                out.fail(&method, "methods", 0.0, f64::NAN, 0.0);
+                continue;
+            }
+        };
+
+        let metric = |doc: &Json, key: &str| doc.get(key).and_then(Json::as_f64);
+        if let Some(base_t) = metric(base, "time_secs") {
+            out.check_ceiling(
+                &method,
+                "time_secs",
+                base_t,
+                metric(fresh_m, "time_secs"),
+                base_t * cfg.time_tolerance,
+            );
+        }
+        if let Some(base_f) = metric(base, "f_measure") {
+            // A floor, not a ceiling: flip both sides' signs.
+            out.check_ceiling(
+                &method,
+                "f_measure",
+                base_f,
+                metric(fresh_m, "f_measure").map(|v| -v),
+                -(base_f - cfg.quality_margin),
+            );
+        }
+        let base_phases = base.get("phases").and_then(Json::as_obj);
+        for (phase, entry) in base_phases.unwrap_or(&[]) {
+            let base_t = match entry.get("total_secs").and_then(Json::as_f64) {
+                Some(t) if t >= cfg.min_phase_secs => t,
+                _ => continue,
+            };
+            let fresh_t = fresh_m
+                .path(&["phases", phase.as_str()])
+                .and_then(|p| p.get("total_secs"))
+                .and_then(Json::as_f64);
+            out.check_ceiling(
+                &method,
+                &format!("phase:{phase}"),
+                base_t,
+                fresh_t,
+                base_t * cfg.phase_tolerance,
+            );
+        }
+    }
+    if out.checks == 0 {
+        return Err("baseline has no usable methods to compare".to_string());
+    }
+    Ok(out)
+}
+
+impl Outcome {
+    /// Records one `fresh <= limit` check; a missing fresh value fails it.
+    /// Negated inputs turn the ceiling into a floor (see the f_measure call).
+    fn check_ceiling(
+        &mut self,
+        method: &str,
+        what: &str,
+        baseline: f64,
+        fresh: Option<f64>,
+        limit: f64,
+    ) {
+        self.checks += 1;
+        match fresh {
+            Some(v) if v <= limit => self.lines.push(format!(
+                "ok   {method}/{what}: {:.4} within {:.4} (baseline {:.4})",
+                v.abs(),
+                limit.abs(),
+                baseline.abs()
+            )),
+            Some(v) => self.fail(method, what, baseline.abs(), v.abs(), limit.abs()),
+            None => self.fail(method, what, baseline.abs(), f64::NAN, limit.abs()),
+        }
+    }
+
+    fn fail(&mut self, method: &str, what: &str, baseline: f64, fresh: f64, limit: f64) {
+        let r = Regression {
+            method: method.to_string(),
+            what: what.to_string(),
+            baseline,
+            fresh,
+            limit,
+        };
+        self.lines.push(format!("FAIL {r}"));
+        self.regressions.push(r);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(time: f64, fm: f64, theta_secs: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"dataset": "UW", "folds": 2, "methods": {{
+                "Manual": {{
+                    "f_measure": {fm}, "time_secs": {time},
+                    "phases": {{
+                        "coverage.theta": {{"count": 10, "total_secs": {theta_secs}, "max_us": 9}},
+                        "tiny.phase": {{"count": 1, "total_secs": 0.0001, "max_us": 1}}
+                    }}
+                }}
+            }}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_runs_pass_every_check() {
+        let base = doc(10.0, 0.9, 4.0);
+        let out = compare(&base, &base, &CompareConfig::default()).unwrap();
+        assert!(out.passed(), "{:?}", out.regressions);
+        // time + quality + one gated phase; the sub-threshold phase is skipped.
+        assert_eq!(out.checks, 3);
+        assert!(
+            out.lines.iter().all(|l| l.starts_with("ok")),
+            "{:?}",
+            out.lines
+        );
+    }
+
+    #[test]
+    fn slowdowns_and_quality_drops_are_flagged() {
+        let base = doc(10.0, 0.9, 4.0);
+        let fresh = doc(25.0, 0.7, 9.0); // 2.5× slower, −0.2 F, 2.25× phase
+        let out = compare(&base, &fresh, &CompareConfig::default()).unwrap();
+        let whats: Vec<&str> = out.regressions.iter().map(|r| r.what.as_str()).collect();
+        assert_eq!(
+            whats,
+            vec!["time_secs", "f_measure", "phase:coverage.theta"],
+            "{:?}",
+            out.regressions
+        );
+        // Generous tolerances wave the same run through.
+        let lax = CompareConfig {
+            time_tolerance: 3.0,
+            phase_tolerance: 3.0,
+            quality_margin: 0.25,
+            ..CompareConfig::default()
+        };
+        assert!(compare(&base, &fresh, &lax).unwrap().passed());
+    }
+
+    #[test]
+    fn missing_method_or_phase_fails_instead_of_passing_vacuously() {
+        let base = doc(10.0, 0.9, 4.0);
+        let gone = Json::parse(r#"{"dataset": "UW", "methods": {}}"#).unwrap();
+        let out = compare(&base, &gone, &CompareConfig::default()).unwrap();
+        assert_eq!(out.regressions.len(), 1);
+        assert!(out.regressions[0].fresh.is_nan());
+
+        let renamed = Json::parse(
+            r#"{"dataset": "UW", "methods": {"Manual": {
+                "f_measure": 0.9, "time_secs": 10.0, "phases": {}
+            }}}"#,
+        )
+        .unwrap();
+        let out = compare(&base, &renamed, &CompareConfig::default()).unwrap();
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.regressions[0].what, "phase:coverage.theta");
+    }
+
+    #[test]
+    fn structural_mismatches_are_errors_not_regressions() {
+        let base = doc(10.0, 0.9, 4.0);
+        let other = Json::parse(r#"{"dataset": "IMDB", "methods": {}}"#).unwrap();
+        assert!(compare(&base, &other, &CompareConfig::default()).is_err());
+        let empty = Json::parse(r#"{"dataset": "UW", "methods": {}}"#).unwrap();
+        assert!(compare(&empty, &empty, &CompareConfig::default()).is_err());
+        let errored =
+            Json::parse(r#"{"dataset": "UW", "methods": {"Manual": {"error": "boom"}}}"#).unwrap();
+        assert!(
+            compare(&errored, &errored, &CompareConfig::default()).is_err(),
+            "a baseline of only errors gates nothing"
+        );
+    }
+}

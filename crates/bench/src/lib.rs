@@ -7,8 +7,13 @@
 //! - `ind_times` — §6.1's IND-extraction preprocessing times;
 //! - `figure1` — Figure 1's type graph (plus the induced Table 3 bias) for UW.
 //!
+//! - `bench_json` — `BENCH_<dataset>.json` perf-trajectory files;
+//! - `bench_compare` — perf-regression gate diffing a fresh trajectory
+//!   against a committed baseline (`bench/baselines/`).
+//!
 //! Criterion microbenches live in `benches/`.
 
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod harness;

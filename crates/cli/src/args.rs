@@ -32,6 +32,23 @@ impl Args {
     pub fn has(&self, key: &str) -> bool {
         self.raw.iter().any(|a| a == key)
     }
+
+    /// Arguments that are not part of a `--key value` pair, in order.
+    /// Assumes every `--key` takes a value (true for the subcommands that
+    /// use positionals), so bare boolean flags would swallow one argument.
+    pub fn positionals(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.raw.len() {
+            if self.raw[i].starts_with("--") {
+                i += 2;
+            } else {
+                out.push(self.raw[i].as_str());
+                i += 1;
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -49,6 +66,13 @@ mod tests {
         assert_eq!(a.get("--seed", 0u64), 42);
         assert_eq!(a.get("--missing", 7u64), 7);
         assert_eq!(a.try_get::<u64>("--out"), None);
+    }
+
+    #[test]
+    fn positionals_skip_key_value_pairs() {
+        let a = args(&["watch", "--addr", "127.0.0.1:1", "3"]);
+        assert_eq!(a.positionals(), vec!["watch", "3"]);
+        assert!(args(&["--seed", "42"]).positionals().is_empty());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!                  [--sampling naive|random|stratified|full] [--depth 2] [--seed 7]
 //! autobias eval    --data data/uw --model model.txt
 //! autobias predict --data data/uw --model model.txt --args "s3,prof1"
+//! autobias jobs    watch 3 [--addr 127.0.0.1:8720]
 //! ```
 //!
 //! `eval` and `predict` use exact direct evaluation (`I ∧ C ⊨ e`) — learned
@@ -50,6 +51,7 @@ fn main() -> ExitCode {
         "eval" => cmd_eval(&args),
         "predict" => cmd_predict(&args),
         "serve" => cmd_serve(&args),
+        "jobs" => cmd_jobs(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -79,14 +81,18 @@ USAGE:
                    [--format native|aleph]
   autobias learn   --data DIR [--bias auto|manual|FILE] [--out FILE]
                    [--sampling naive|random|stratified|full] [--depth N] [--seed N]
-                   [--trace-out FILE] [--profile]
+                   [--trace-out FILE] [--profile] [--report-out FILE]
   autobias eval    --data DIR --model FILE
   autobias predict --data DIR --model FILE --args \"v1,v2\"
   autobias serve   --data DIR --models DIR [--addr HOST:PORT] [--threads N]
+                   [--log-level error|warn|info|debug]
+  autobias jobs    watch ID [--addr HOST:PORT]
 
 Every command accepts --log-level error|warn|info|debug (or set AUTOBIAS_LOG).
 learn: --trace-out writes a chrome-trace JSON (open in ui.perfetto.dev);
-       --profile prints a per-phase wall-clock summary table to stderr.";
+       --profile prints a per-phase wall-clock summary table to stderr;
+       --report-out writes a structured JSON run report (schema v1).
+jobs watch: streams a running server's learning-job progress events (SSE).";
 
 /// Applies `--log-level` (which wins over the `AUTOBIAS_LOG` environment
 /// variable read by `obs` on first use).
@@ -228,10 +234,16 @@ fn pick_bias(args: &Args, ds: &Dataset) -> Result<autobias::bias::LanguageBias, 
 
 fn cmd_learn(args: &Args) -> Result<(), String> {
     let trace_out = args.get_str("--trace-out");
+    let report_out = args.get_str("--report-out");
     let profile = args.has("--profile");
     if trace_out.is_some() {
         obs::set_mode(obs::Mode::Full);
     } else if profile {
+        obs::enable_at_least(obs::Mode::Summary);
+    }
+    if report_out.is_some() {
+        // The run report folds in per-phase timings, which only the span
+        // summary registry records.
         obs::enable_at_least(obs::Mode::Summary);
     }
     obs::reset();
@@ -262,7 +274,33 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
     };
     let train = autobias::example::TrainingSet::new(ds.pos.clone(), ds.neg.clone());
     let t0 = std::time::Instant::now();
-    let (def, stats) = Learner::new(cfg).learn(&ds.db, &bias, &train);
+    let learner = Learner::new(cfg);
+    let (def, stats, report) = match report_out {
+        Some(_) => {
+            let params = vec![
+                (
+                    "bias".to_string(),
+                    args.get_str("--bias").unwrap_or("auto").to_string(),
+                ),
+                (
+                    "sampling".to_string(),
+                    args.get_str("--sampling").unwrap_or("naive").to_string(),
+                ),
+                ("depth".to_string(), args.get("--depth", 2usize).to_string()),
+                ("seed".to_string(), args.get("--seed", 7u64).to_string()),
+                ("reduce".to_string(), (!args.has("--no-reduce")).to_string()),
+            ];
+            let builder = obs::ReportBuilder::new(ds.name, params);
+            let cancel = std::sync::atomic::AtomicBool::new(false);
+            let (def, stats) =
+                learner.learn_with_progress(&ds.db, &bias, &train, &cancel, &builder);
+            (def, stats, Some(builder))
+        }
+        None => {
+            let (def, stats) = learner.learn(&ds.db, &bias, &train);
+            (def, stats, None)
+        }
+    };
     let text = def.render(&ds.db);
     match args.get_str("--out") {
         Some(path) => {
@@ -277,6 +315,13 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
         stats.uncovered_pos,
         stats.bc_time
     );
+    if let (Some(path), Some(builder)) = (report_out, report) {
+        // finish() after the learn spans have dropped, so their phase
+        // aggregates are included in the delta.
+        let json = builder.finish().to_json();
+        std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        obs::info!("wrote run report to {path}");
+    }
     if let Some(path) = trace_out {
         let json = obs::chrome::export_current();
         std::fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
@@ -376,4 +421,117 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     handle.join();
     println!("shut down cleanly");
     Ok(())
+}
+
+const JOBS_USAGE: &str = "usage: autobias jobs watch ID [--addr HOST:PORT]";
+
+fn cmd_jobs(args: &Args) -> Result<(), String> {
+    let positionals = args.positionals();
+    match positionals.as_slice() {
+        ["watch", id] => watch_job(args.get_str("--addr").unwrap_or("127.0.0.1:8720"), id),
+        _ => Err(JOBS_USAGE.to_string()),
+    }
+}
+
+/// Streams `GET /jobs/{id}/events` from a running server and renders each
+/// SSE frame as one human-readable progress line. Exits when the job
+/// reaches a terminal state (the server closes the stream).
+fn watch_job(addr: &str, id: &str) -> Result<(), String> {
+    use autobias_serve::http::{read_response_head, ChunkedReader};
+    use std::io::{BufReader, Write};
+
+    id.parse::<u64>().map_err(|_| JOBS_USAGE.to_string())?;
+    let mut conn =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    write!(
+        conn,
+        "GET /jobs/{id}/events HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| e.to_string())?;
+    conn.flush().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(conn);
+    let (status, _) = read_response_head(&mut reader).map_err(|e| format!("bad response: {e}"))?;
+    if status != 200 {
+        return Err(format!("server returned {status} for job {id}"));
+    }
+    let mut chunks = ChunkedReader::new(reader);
+    let mut buf = String::new();
+    loop {
+        // Drain complete SSE frames (separated by a blank line) before
+        // blocking on the next chunk.
+        while let Some(end) = buf.find("\n\n") {
+            let frame: String = buf.drain(..end + 2).collect();
+            let mut event = None;
+            let mut data = None;
+            for line in frame.lines() {
+                if let Some(e) = line.strip_prefix("event: ") {
+                    event = Some(e.to_string());
+                } else if let Some(d) = line.strip_prefix("data: ") {
+                    data = Some(d.to_string());
+                }
+            }
+            if let (Some(event), Some(data)) = (event, data) {
+                if let Some(line) = render_event(&event, &data) {
+                    println!("{line}");
+                }
+            }
+        }
+        match chunks.next_chunk().map_err(|e| format!("stream: {e}"))? {
+            Some(chunk) => buf.push_str(&String::from_utf8_lossy(&chunk)),
+            None => return Ok(()),
+        }
+    }
+}
+
+/// One progress line per SSE event; `None` drops events too noisy for an
+/// interactive watch (per-candidate beam statistics).
+fn render_event(event: &str, data: &str) -> Option<String> {
+    let json = obs::json::Json::parse(data).ok()?;
+    let num = |key: &str| json.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0) as u64;
+    let secs = |key: &str| num(key) as f64 / 1e6;
+    Some(match event {
+        "bc_build_finished" => format!(
+            "bottom clauses: {} pos, {} neg, {} ground literals ({:.2}s)",
+            num("pos_examples"),
+            num("neg_examples"),
+            num("ground_literals"),
+            secs("elapsed_us")
+        ),
+        "iteration_started" => format!(
+            "iteration {}: {} uncovered positives, {} clause(s) so far",
+            num("iteration"),
+            num("uncovered_pos"),
+            num("clauses_so_far")
+        ),
+        "clause_accepted" => format!(
+            "  + {} ({} pos / {} neg)",
+            json.get("clause").and_then(|v| v.as_str()).unwrap_or("?"),
+            num("covered_pos"),
+            num("covered_neg")
+        ),
+        "clause_rejected" => format!(
+            "  - rejected candidate ({} pos / {} neg)",
+            num("covered_pos"),
+            num("covered_neg")
+        ),
+        "clause_searched" => return None,
+        "dropped" => format!("(stream fell behind: {} event(s) missed)", num("missed")),
+        "finished" => {
+            let tail = if json.get("cancelled").and_then(|v| v.as_bool()) == Some(true) {
+                " [cancelled]"
+            } else if json.get("timed_out").and_then(|v| v.as_bool()) == Some(true) {
+                " [timed out]"
+            } else {
+                ""
+            };
+            format!(
+                "finished: {} clause(s), {} uncovered positives (bc {:.2}s, search {:.2}s){tail}",
+                num("clauses"),
+                num("uncovered_pos"),
+                secs("bc_us"),
+                secs("search_us")
+            )
+        }
+        other => format!("{other}: {data}"),
+    })
 }

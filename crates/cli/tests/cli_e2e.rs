@@ -314,6 +314,155 @@ fn trace_out_and_profile_produce_chrome_trace_and_table() {
 }
 
 #[test]
+fn report_out_writes_structured_run_report() {
+    let tmp = TempDir::new("report");
+    let data = tmp.path("uw");
+    let model = tmp.path("model.txt");
+    let report = tmp.path("report.json");
+
+    let (ok, _, err) = run(&["gen", "--dataset", "uw", "--out", &data, "--seed", "3"]);
+    assert!(ok, "gen failed: {err}");
+    let (ok, _, err) = run(&[
+        "learn",
+        "--data",
+        &data,
+        "--bias",
+        "manual",
+        "--out",
+        &model,
+        "--report-out",
+        &report,
+    ]);
+    assert!(ok, "learn failed: {err}");
+    assert!(err.contains("wrote run report"), "{err}");
+
+    let raw = std::fs::read_to_string(&report).unwrap();
+    let json = obs::json::Json::parse(&raw).unwrap_or_else(|e| panic!("{e}\n{raw}"));
+    assert_eq!(json.get("schema_version").unwrap().as_f64(), Some(1.0));
+    // Loaded datasets are named after the directory they came from.
+    assert_eq!(json.get("dataset").unwrap().as_str(), Some("uw"));
+    assert_eq!(
+        json.path(&["params", "bias"]).unwrap().as_str(),
+        Some("manual")
+    );
+
+    // The iteration trace covers the whole run: uncovered counts decrease
+    // and every accepted clause appears in the clause list.
+    let iterations = json.get("iterations").unwrap().as_arr().unwrap();
+    assert!(!iterations.is_empty());
+    let clauses = json.get("clauses").unwrap().as_arr().unwrap();
+    assert!(!clauses.is_empty());
+    let model_clauses = std::fs::read_to_string(&model)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count();
+    assert_eq!(clauses.len(), model_clauses, "{raw}");
+    let accepted = iterations
+        .iter()
+        .filter(|it| it.get("accepted").and_then(|v| v.as_bool()) == Some(true))
+        .count();
+    assert_eq!(accepted, clauses.len(), "{raw}");
+
+    // Phase timings from the span summary registry are folded in.
+    let phases = json.get("phases").unwrap().as_obj().unwrap();
+    for phase in ["learn", "learn.bc_build", "learn.clause_search"] {
+        let entry = phases
+            .iter()
+            .find(|(name, _)| name == phase)
+            .unwrap_or_else(|| panic!("missing phase {phase}: {raw}"));
+        assert!(entry.1.get("count").unwrap().as_f64().unwrap() >= 1.0);
+    }
+    assert_eq!(
+        json.path(&["outcome", "state"]).unwrap().as_str(),
+        Some("done")
+    );
+    assert_eq!(
+        json.path(&["outcome", "clauses"]).unwrap().as_f64(),
+        Some(clauses.len() as f64)
+    );
+}
+
+#[test]
+fn jobs_watch_streams_progress_from_a_server() {
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::TcpStream;
+
+    let tmp = TempDir::new("watch");
+    let data = tmp.path("uw");
+    let (ok, _, err) = run(&["gen", "--dataset", "uw", "--out", &data, "--seed", "8"]);
+    assert!(ok, "gen failed: {err}");
+    let models = tmp.path("models");
+    std::fs::create_dir_all(&models).unwrap();
+
+    let mut child = bin()
+        .args([
+            "serve",
+            "--data",
+            &data,
+            "--models",
+            &models,
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut reader = BufReader::new(stdout);
+    let mut banner = String::new();
+    reader.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|s| s.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no address in banner: {banner:?}"))
+        .to_string();
+
+    // Start a learning job over the raw API, then watch it via the CLI.
+    let body = "name watched\nbias manual\n";
+    let mut conn = TcpStream::connect(&addr).unwrap();
+    conn.write_all(
+        format!(
+            "POST /jobs/learn HTTP/1.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+    .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap();
+    let id = response
+        .lines()
+        .find_map(|l| l.strip_prefix("id "))
+        .unwrap_or_else(|| panic!("no job id in: {response}"))
+        .to_string();
+
+    let (ok, out, err) = run(&["jobs", "watch", &id, "--addr", &addr]);
+    assert!(ok, "watch failed: {err}");
+    assert!(out.contains("bottom clauses:"), "{out}");
+    assert!(out.contains("iteration 1:"), "{out}");
+    assert!(out.lines().any(|l| l.starts_with("  + ")), "{out}");
+    assert!(out.contains("finished:"), "{out}");
+
+    // Bad ids fail cleanly.
+    let (ok, _, err) = run(&["jobs", "watch", "9999", "--addr", &addr]);
+    assert!(!ok);
+    assert!(err.contains("404"), "{err}");
+    let (ok, _, err) = run(&["jobs", "frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("usage: autobias jobs watch"), "{err}");
+
+    let mut conn = TcpStream::connect(&addr).unwrap();
+    conn.write_all(b"POST /shutdown HTTP/1.1\r\nContent-Length: 0\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut drain = String::new();
+    conn.read_to_string(&mut drain).unwrap();
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "serve exit: {status:?}");
+}
+
+#[test]
 fn log_level_flag_silences_info() {
     let tmp = TempDir::new("loglevel");
     let data = tmp.path("uw");

@@ -8,6 +8,7 @@ use crate::coverage::CoverageEngine;
 use crate::example::TrainingSet;
 use crate::generalize::{learn_clause, GenConfig};
 use crate::subsume::SubsumeConfig;
+use obs::progress::{NullSink, ProgressEvent, ProgressSink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use relstore::Database;
@@ -134,13 +135,43 @@ impl Learner {
         train: &TrainingSet,
         cancel: &AtomicBool,
     ) -> (Definition, LearnStats) {
+        self.learn_with_progress(db, bias, train, cancel, &NullSink)
+    }
+
+    /// [`Learner::learn_cancellable`] with a structured progress channel:
+    /// `sink` receives one [`ProgressEvent`] per covering-loop decision —
+    /// `BcBuildFinished` after ground-BC construction, then per iteration
+    /// `IterationStarted` → `ClauseSearched` → (`ClauseAccepted` |
+    /// `ClauseRejected`), and exactly one terminal `Finished` on every exit
+    /// path (including cancellation before any work). This is the feed
+    /// behind `--report-out` run reports, the server's live job status and
+    /// SSE stream, and `autobias jobs watch`. Events fire a handful of times
+    /// per run, so the virtual call is nowhere near a hot path.
+    pub fn learn_with_progress(
+        &self,
+        db: &Database,
+        bias: &LanguageBias,
+        train: &TrainingSet,
+        cancel: &AtomicBool,
+        sink: &dyn ProgressSink,
+    ) -> (Definition, LearnStats) {
         crate::instrument::register();
         let mut sp = obs::span!("learn");
         let mut stats = LearnStats::default();
+        let finished = |definition: &Definition, stats: &LearnStats| ProgressEvent::Finished {
+            clauses: definition.len(),
+            uncovered_pos: stats.uncovered_pos,
+            timed_out: stats.timed_out,
+            cancelled: stats.cancelled,
+            bc_us: stats.bc_time.as_micros() as u64,
+            search_us: stats.search_time.as_micros() as u64,
+        };
         if cancel.load(Ordering::Relaxed) {
             stats.cancelled = true;
             stats.uncovered_pos = train.pos.len();
-            return (Definition::new(), stats);
+            let definition = Definition::new();
+            sink.on_event(&finished(&definition, &stats));
+            return (definition, stats);
         }
         let t0 = Instant::now();
         let engine = {
@@ -157,12 +188,19 @@ impl Learner {
         stats.bc_time = t0.elapsed();
         stats.ground_literals = engine.pos.iter().map(|b| b.ground.len()).sum::<usize>()
             + engine.neg.iter().map(|g| g.len()).sum::<usize>();
+        sink.on_event(&ProgressEvent::BcBuildFinished {
+            pos_examples: train.pos.len(),
+            neg_examples: train.neg.len(),
+            ground_literals: stats.ground_literals,
+            elapsed_us: stats.bc_time.as_micros() as u64,
+        });
 
         let t1 = Instant::now();
         let deadline = self.cfg.time_budget.map(|b| t0 + b);
         let mut rng = StdRng::seed_from_u64(self.cfg.seed);
         let mut uncovered: Vec<usize> = (0..train.pos.len()).collect();
         let mut definition = Definition::new();
+        let mut iteration = 0usize;
 
         while !uncovered.is_empty() && definition.len() < self.cfg.max_clauses {
             if cancel.load(Ordering::Relaxed) {
@@ -176,10 +214,24 @@ impl Learner {
                 }
             }
             let seed_example = uncovered[0];
+            iteration += 1;
+            sink.on_event(&ProgressEvent::IterationStarted {
+                iteration,
+                uncovered_pos: uncovered.len(),
+                clauses_so_far: definition.len(),
+                seed_bc_literals: engine.pos[seed_example].clause.body.len(),
+            });
             let mut gen_cfg = self.cfg.gen;
             gen_cfg.deadline = deadline;
-            let (clause, _cstats) =
+            let (clause, cstats) =
                 learn_clause(&engine, seed_example, &uncovered, &gen_cfg, &mut rng);
+            sink.on_event(&ProgressEvent::ClauseSearched {
+                iteration,
+                beam_iterations: cstats.iterations,
+                candidates_generated: cstats.candidates_generated,
+                candidates_pruned: cstats.candidates_pruned,
+                armg_calls: cstats.armg_calls,
+            });
 
             let covered = engine.covered_pos_subset(&clause, &uncovered);
             let neg_covered = engine.count_neg(&clause);
@@ -197,9 +249,16 @@ impl Learner {
                 // The seed example is unlearnable under the current budget;
                 // drop it so the loop can make progress on the rest.
                 uncovered.remove(0);
+                sink.on_event(&ProgressEvent::ClauseRejected {
+                    iteration,
+                    covered_pos: covered.len(),
+                    covered_neg: neg_covered,
+                    precision,
+                });
                 continue;
             }
 
+            let covered_len = covered.len();
             let covered_set: relstore::FxHashSet<usize> = covered.into_iter().collect();
             uncovered.retain(|i| !covered_set.contains(i));
             let mut clause = clause;
@@ -208,6 +267,15 @@ impl Learner {
             }
             clause.canonicalize_vars();
             crate::instrument::CLAUSES_ACCEPTED.bump();
+            sink.on_event(&ProgressEvent::ClauseAccepted {
+                iteration,
+                covered_pos: covered_len,
+                covered_neg: neg_covered,
+                precision,
+                literals: clause.body.len(),
+                uncovered_after: uncovered.len(),
+                clause: clause.render(db),
+            });
             definition.clauses.push(clause);
         }
 
@@ -219,6 +287,7 @@ impl Learner {
             sp.note("uncovered_pos", stats.uncovered_pos as u64);
             sp.note("ground_literals", stats.ground_literals as u64);
         }
+        sink.on_event(&finished(&definition, &stats));
         (definition, stats)
     }
 
@@ -464,6 +533,137 @@ mode taughtBy(+, -)
         );
         assert_eq!(p_pos, r_pos, "positive coverage unchanged");
         assert_eq!(p_neg, r_neg, "negative coverage unchanged");
+    }
+
+    #[test]
+    fn progress_events_trace_the_covering_loop() {
+        use obs::progress::{ProgressEvent, ProgressSink};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder(Mutex<Vec<ProgressEvent>>);
+        impl ProgressSink for Recorder {
+            fn on_event(&self, ev: &ProgressEvent) {
+                self.0.lock().unwrap().push(ev.clone());
+            }
+        }
+
+        let (db, train, bias) = two_rule_world();
+        let cfg = LearnerConfig {
+            bc: BcConfig {
+                depth: 2,
+                strategy: SamplingStrategy::Full,
+                max_body_literals: 100_000,
+                max_tuples: 2000,
+            },
+            ..LearnerConfig::default()
+        };
+        let rec = Recorder::default();
+        let never = AtomicBool::new(false);
+        let (def, stats) = Learner::new(cfg).learn_with_progress(&db, &bias, &train, &never, &rec);
+        let events = rec.0.into_inner().unwrap();
+
+        assert!(
+            matches!(
+                events[0],
+                ProgressEvent::BcBuildFinished {
+                    pos_examples: 8,
+                    neg_examples: 8,
+                    ..
+                }
+            ),
+            "first event is the BC build: {:?}",
+            events[0]
+        );
+        if let ProgressEvent::BcBuildFinished {
+            ground_literals, ..
+        } = events[0]
+        {
+            assert_eq!(ground_literals, stats.ground_literals);
+        }
+        match events.last().unwrap() {
+            ProgressEvent::Finished {
+                clauses,
+                uncovered_pos,
+                timed_out,
+                cancelled,
+                ..
+            } => {
+                assert_eq!(*clauses, def.len());
+                assert_eq!(*uncovered_pos, stats.uncovered_pos);
+                assert!(!timed_out && !cancelled);
+            }
+            other => panic!("last event must be Finished, got {other:?}"),
+        }
+
+        let count = |k: &str| events.iter().filter(|e| e.kind() == k).count();
+        assert_eq!(
+            count("iteration_started"),
+            count("clause_searched"),
+            "every iteration runs exactly one search"
+        );
+        assert_eq!(
+            count("iteration_started"),
+            count("clause_accepted") + count("clause_rejected"),
+            "every iteration resolves to accept or reject"
+        );
+        assert_eq!(count("clause_accepted"), def.len());
+        assert_eq!(count("clause_rejected"), stats.rejected_clauses);
+        assert_eq!(count("finished"), 1);
+
+        // Accepted-clause text matches the learned definition, in order.
+        let accepted: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                ProgressEvent::ClauseAccepted { clause, .. } => Some(clause.as_str()),
+                _ => None,
+            })
+            .collect();
+        let rendered: Vec<String> = def.clauses.iter().map(|c| c.render(&db)).collect();
+        assert_eq!(
+            accepted,
+            rendered.iter().map(|s| s.as_str()).collect::<Vec<_>>()
+        );
+
+        // Uncovered counts are monotonically consistent across iterations.
+        let mut last_uncovered = train.pos.len();
+        for e in &events {
+            if let ProgressEvent::IterationStarted { uncovered_pos, .. } = e {
+                assert!(*uncovered_pos <= last_uncovered);
+                last_uncovered = *uncovered_pos;
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_run_still_emits_finished() {
+        use obs::progress::{ProgressEvent, ProgressSink};
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Recorder(Mutex<Vec<ProgressEvent>>);
+        impl ProgressSink for Recorder {
+            fn on_event(&self, ev: &ProgressEvent) {
+                self.0.lock().unwrap().push(ev.clone());
+            }
+        }
+
+        let (db, train, bias) = two_rule_world();
+        let rec = Recorder::default();
+        let cancelled = AtomicBool::new(true);
+        let (_, stats) =
+            Learner::default().learn_with_progress(&db, &bias, &train, &cancelled, &rec);
+        assert!(stats.cancelled);
+        let events = rec.0.into_inner().unwrap();
+        assert_eq!(events.len(), 1, "pre-cancelled run emits only Finished");
+        assert!(matches!(
+            events[0],
+            ProgressEvent::Finished {
+                cancelled: true,
+                clauses: 0,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -120,4 +120,90 @@ mod tests {
         assert_eq!(json_escape("\u{1}"), "\\u0001");
         assert_eq!(json_escape("plain"), "plain");
     }
+
+    #[test]
+    fn empty_export_is_parseable_with_single_metadata_event() {
+        let _g = crate::span::test_lock();
+        crate::set_mode(crate::Mode::Off);
+        crate::reset();
+        let json = export_chrome_trace(&[]);
+        let parsed = crate::json::Json::parse(&json).expect("empty export parses");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), 1, "only the process_name metadata event");
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            events[0]
+                .path(&["args", "dropped_events"])
+                .unwrap()
+                .as_f64(),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn buffer_overflow_drops_are_counted_and_exported() {
+        let _g = crate::span::test_lock();
+        crate::set_mode(crate::Mode::Full);
+        crate::reset();
+        const EXTRA: usize = 5;
+        for _ in 0..crate::span::MAX_EVENTS + EXTRA {
+            let _sp = crate::span!("test.overflow");
+        }
+        assert_eq!(crate::span::events_len(), crate::span::MAX_EVENTS);
+        assert_eq!(dropped_events(), EXTRA as u64);
+        // The drop count rides along even when exporting a detached slice.
+        let json = export_chrome_trace(&[]);
+        assert!(
+            json.contains(&format!("\"dropped_events\":{EXTRA}")),
+            "{json}"
+        );
+        crate::reset();
+        crate::set_mode(crate::Mode::Off);
+        assert_eq!(dropped_events(), 0, "reset clears the drop counter");
+    }
+
+    #[test]
+    fn nested_spans_export_child_before_parent_and_inside_it() {
+        let _g = crate::span::test_lock();
+        crate::set_mode(crate::Mode::Full);
+        crate::reset();
+        {
+            let _outer = crate::span!("test.parent");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            {
+                let _inner = crate::span!("test.child");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let json = export_current();
+        crate::reset();
+        crate::set_mode(crate::Mode::Off);
+
+        let parsed = crate::json::Json::parse(&json).expect("nested export parses");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        let idx = |name: &str| {
+            events
+                .iter()
+                .position(|e| e.get("name").and_then(|n| n.as_str()) == Some(name))
+                .unwrap_or_else(|| panic!("event {name} in export"))
+        };
+        let (ci, pi) = (idx("test.child"), idx("test.parent"));
+        assert!(
+            ci < pi,
+            "spans complete innermost-first, so the child must precede its parent"
+        );
+        let ts = |i: usize| events[i].get("ts").unwrap().as_f64().unwrap();
+        let dur = |i: usize| events[i].get("dur").unwrap().as_f64().unwrap();
+        assert!(ts(pi) <= ts(ci), "parent starts before child");
+        assert!(
+            ts(ci) + dur(ci) <= ts(pi) + dur(pi),
+            "child interval nests inside the parent interval"
+        );
+        // Same thread: the viewer reconstructs nesting from tid + intervals.
+        assert_eq!(
+            events[ci].get("tid").unwrap().as_f64(),
+            events[pi].get("tid").unwrap().as_f64()
+        );
+    }
 }

@@ -28,6 +28,15 @@
 //! - [`log`] — a leveled logger (`error!`/`warn!`/`info!`/`debug!`)
 //!   configured by the `AUTOBIAS_LOG` environment variable or
 //!   [`log::set_level`], replacing ad-hoc `eprintln!` calls.
+//! - [`progress`] — the structured [`progress::ProgressEvent`] channel a
+//!   learning run emits (iteration started, clause accepted, …) and the
+//!   [`progress::ProgressSink`] trait its consumers implement.
+//! - [`report`] — folds a run's progress events plus the span summary and
+//!   counter registry into a versioned JSON [`report::RunReport`] — the
+//!   flight-recorder artifact behind `autobias learn --report-out` and the
+//!   server's run ledger.
+//! - [`json`] — a minimal `std`-only JSON parser for reading back the JSON
+//!   this workspace writes (run reports, bench results, traces).
 //!
 //! ## Span naming convention
 //!
@@ -60,11 +69,16 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod progress;
+pub mod report;
 pub mod span;
 pub mod summary;
 
 pub use chrome::export_chrome_trace;
+pub use progress::{NullSink, ProgressEvent, ProgressSink};
+pub use report::{ReportBuilder, RunReport};
 pub use span::{enable_at_least, mode, reset, set_mode, Mode, SpanGuard};
 pub use summary::{phase_snapshot, render_summary_table, PhaseStat, PHASE_BUCKETS};

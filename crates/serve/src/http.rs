@@ -1,8 +1,12 @@
 //! A deliberately small HTTP/1.1 layer: enough to parse one request from a
 //! `TcpStream` and write one response, nothing more. The server speaks
-//! `Connection: close` (one request per connection) and `text/plain` bodies
-//! only, which keeps the whole protocol auditable and dependency-free — the
-//! same idiom as the rest of the workspace.
+//! `Connection: close` (one request per connection); responses are either a
+//! fixed `Content-Length` body or — for the live event stream — a
+//! `Transfer-Encoding: chunked` sequence written incrementally
+//! ([`write_stream_head`] / [`write_chunk`] / [`finish_chunked`], with the
+//! client-side [`ChunkedReader`] used by `autobias jobs watch`). This keeps
+//! the whole protocol auditable and dependency-free — the same idiom as the
+//! rest of the workspace.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -131,6 +135,126 @@ pub fn write_response(
     stream.flush()
 }
 
+/// Starts a streaming response: status line and headers with
+/// `Transfer-Encoding: chunked` (no `Content-Length`). Follow with
+/// [`write_chunk`] calls and one [`finish_chunked`].
+pub fn write_stream_head(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\n\
+         Content-Type: {content_type}\r\n\
+         Transfer-Encoding: chunked\r\n\
+         Cache-Control: no-cache\r\n\
+         Connection: close\r\n\
+         \r\n"
+    );
+    w.write_all(head.as_bytes())?;
+    w.flush()
+}
+
+/// Writes one non-empty chunk (hex size, CRLF, data, CRLF) and flushes so
+/// stream consumers see events as they happen. Empty data is skipped — a
+/// zero-length chunk would terminate the stream.
+pub fn write_chunk(w: &mut impl Write, data: &[u8]) -> io::Result<()> {
+    if data.is_empty() {
+        return Ok(());
+    }
+    write!(w, "{:x}\r\n", data.len())?;
+    w.write_all(data)?;
+    w.write_all(b"\r\n")?;
+    w.flush()
+}
+
+/// Terminates a chunked stream (the zero chunk).
+pub fn finish_chunked(w: &mut impl Write) -> io::Result<()> {
+    w.write_all(b"0\r\n\r\n")?;
+    w.flush()
+}
+
+/// Client-side status line + headers of one response; leaves the reader
+/// positioned at the body. Returns the status code and lowercased
+/// `name: value` header pairs.
+pub fn read_response_head(r: &mut impl BufRead) -> io::Result<(u16, Vec<(String, String)>)> {
+    let mut line = String::new();
+    r.read_line(&mut line)?;
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad status line {line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        let n = r.read_line(&mut line)?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+    }
+    Ok((status, headers))
+}
+
+/// Client-side reader of a `Transfer-Encoding: chunked` body, yielding one
+/// decoded chunk at a time so a watcher can render events as they arrive.
+pub struct ChunkedReader<R> {
+    inner: R,
+    done: bool,
+}
+
+impl<R: BufRead> ChunkedReader<R> {
+    /// Wraps a reader positioned at the start of the chunked body.
+    pub fn new(inner: R) -> Self {
+        Self { inner, done: false }
+    }
+
+    /// Reads the next chunk; `Ok(None)` after the terminating zero chunk.
+    pub fn next_chunk(&mut self) -> io::Result<Option<Vec<u8>>> {
+        if self.done {
+            return Ok(None);
+        }
+        let mut size_line = String::new();
+        if self.inner.read_line(&mut size_line)? == 0 {
+            // Peer closed without the zero chunk (e.g. server shutdown
+            // mid-stream); treat as end of stream.
+            self.done = true;
+            return Ok(None);
+        }
+        let size_str = size_line.trim().split(';').next().unwrap_or("").trim();
+        let size = usize::from_str_radix(size_str, 16).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad chunk size {size_line:?}"),
+            )
+        })?;
+        if size > MAX_BODY_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("chunk of {size} bytes exceeds the {MAX_BODY_BYTES}-byte limit"),
+            ));
+        }
+        let mut data = vec![0u8; size];
+        self.inner.read_exact(&mut data)?;
+        let mut crlf = [0u8; 2];
+        self.inner.read_exact(&mut crlf)?;
+        if size == 0 {
+            self.done = true;
+            return Ok(None);
+        }
+        Ok(Some(data))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +308,54 @@ mod tests {
         let err =
             roundtrip("POST /predict HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n").unwrap_err();
         assert!(matches!(err, HttpError::Bad(_)));
+    }
+
+    #[test]
+    fn chunked_writer_and_reader_roundtrip() {
+        let mut wire = Vec::new();
+        write_stream_head(&mut wire, 200, "OK", "text/event-stream").unwrap();
+        write_chunk(&mut wire, b"event: a\ndata: {}\n\n").unwrap();
+        write_chunk(&mut wire, b"").unwrap(); // skipped, must not terminate
+        write_chunk(&mut wire, "event: b\ndata: {\"n\":1}\n\n".as_bytes()).unwrap();
+        finish_chunked(&mut wire).unwrap();
+
+        let mut r = std::io::BufReader::new(&wire[..]);
+        let (status, headers) = read_response_head(&mut r).unwrap();
+        assert_eq!(status, 200);
+        assert!(headers
+            .iter()
+            .any(|(n, v)| n == "transfer-encoding" && v == "chunked"));
+        assert!(headers
+            .iter()
+            .any(|(n, v)| n == "content-type" && v == "text/event-stream"));
+
+        let mut chunks = ChunkedReader::new(r);
+        assert_eq!(
+            chunks.next_chunk().unwrap().as_deref(),
+            Some(b"event: a\ndata: {}\n\n".as_slice())
+        );
+        assert_eq!(
+            chunks.next_chunk().unwrap().as_deref(),
+            Some("event: b\ndata: {\"n\":1}\n\n".as_bytes())
+        );
+        assert_eq!(chunks.next_chunk().unwrap(), None);
+        assert_eq!(chunks.next_chunk().unwrap(), None, "stays done");
+    }
+
+    #[test]
+    fn chunked_reader_handles_abrupt_close_and_garbage() {
+        // Abrupt close (no zero chunk) ends the stream cleanly.
+        let wire = b"5\r\nhello\r\n";
+        let mut chunks = ChunkedReader::new(std::io::BufReader::new(&wire[..]));
+        assert_eq!(
+            chunks.next_chunk().unwrap().as_deref(),
+            Some(b"hello".as_slice())
+        );
+        assert_eq!(chunks.next_chunk().unwrap(), None);
+
+        // A non-hex size line is an error, not a hang.
+        let wire = b"zzz\r\n";
+        let mut chunks = ChunkedReader::new(std::io::BufReader::new(&wire[..]));
+        assert!(chunks.next_chunk().is_err());
     }
 }

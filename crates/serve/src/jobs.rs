@@ -6,12 +6,16 @@
 //! covering-loop iteration, so a cancelled job still returns the clauses
 //! accepted so far.
 
+use crate::events::EventLog;
+use crate::ledger::RunLedger;
 use crate::registry::{ModelEntry, ModelRegistry};
 use autobias::bias::auto::{induce_bias, AutoBiasConfig};
 use autobias::bottom::{BcConfig, SamplingStrategy};
 use autobias::example::TrainingSet;
 use autobias::learn::{Learner, LearnerConfig};
 use datasets::Dataset;
+use obs::progress::{ProgressEvent, ProgressSink};
+use obs::report::ReportBuilder;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -176,10 +180,16 @@ pub struct JobStatus {
     pub state: JobState,
     /// Human-readable detail (error message, completion summary).
     pub detail: String,
-    /// Clauses in the learned definition so far.
+    /// Clauses in the learned definition so far (live while running).
     pub clauses: usize,
-    /// Positives left uncovered when learning stopped.
+    /// Positives left uncovered (live while running).
     pub uncovered_pos: usize,
+    /// Covering-loop iteration currently in progress (0 before the first).
+    pub iteration: usize,
+    /// Positive training examples in total (0 until the BC build finishes).
+    pub pos_total: usize,
+    /// Positives covered so far (`pos_total - uncovered_pos` once known).
+    pub pos_covered: usize,
     /// Wall-clock seconds once terminal.
     pub elapsed_secs: Option<f64>,
     /// Seconds spent building ground bottom clauses, once terminal.
@@ -194,6 +204,9 @@ pub struct Job {
     pub id: u64,
     /// Name the learned model is registered under.
     pub model_name: String,
+    /// Live SSE frames of this job's [`ProgressEvent`]s; closed once the
+    /// job is terminal, ending any `GET /jobs/{id}/events` streams.
+    pub events: Arc<EventLog>,
     status: Mutex<JobStatus>,
     cancel: AtomicBool,
     handle: Mutex<Option<JoinHandle<()>>>,
@@ -239,12 +252,15 @@ impl JobManager {
     }
 
     /// Spawns a learning job over the shared dataset; the learned model is
-    /// written to the registry's directory and inserted into the registry.
+    /// written to the registry's directory and inserted into the registry,
+    /// and the run report is archived in `ledger` (when given) once the job
+    /// completes.
     pub fn spawn_learn(
         &self,
         spec: JobSpec,
         ds: Arc<Dataset>,
         registry: Arc<ModelRegistry>,
+        ledger: Option<Arc<RunLedger>>,
     ) -> Arc<Job> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let model_name = spec
@@ -254,11 +270,15 @@ impl JobManager {
         let job = Arc::new(Job {
             id,
             model_name: model_name.clone(),
+            events: Arc::new(EventLog::default()),
             status: Mutex::new(JobStatus {
                 state: JobState::Queued,
                 detail: String::new(),
                 clauses: 0,
                 uncovered_pos: 0,
+                iteration: 0,
+                pos_total: ds.pos.len(),
+                pos_covered: 0,
                 elapsed_secs: None,
                 bc_secs: None,
                 search_secs: None,
@@ -278,7 +298,7 @@ impl JobManager {
                 let t0 = Instant::now();
                 worker_job.set_status(|s| s.state = JobState::Running);
                 let result = catch_unwind(AssertUnwindSafe(|| {
-                    run_learn(&worker_job, &spec, &ds, &registry)
+                    run_learn(&worker_job, &spec, &ds, &registry, ledger.as_deref())
                 }));
                 let elapsed = t0.elapsed().as_secs_f64();
                 match result {
@@ -287,6 +307,7 @@ impl JobManager {
                         s.detail = outcome.detail;
                         s.clauses = outcome.clauses;
                         s.uncovered_pos = outcome.uncovered_pos;
+                        s.pos_covered = s.pos_total.saturating_sub(outcome.uncovered_pos);
                         s.elapsed_secs = Some(elapsed);
                         s.bc_secs = Some(outcome.bc_secs);
                         s.search_secs = Some(outcome.search_secs);
@@ -302,6 +323,9 @@ impl JobManager {
                         s.elapsed_secs = Some(elapsed);
                     }),
                 }
+                // Close after the terminal status is visible, so a watcher
+                // whose stream just ended polls a final, settled state.
+                worker_job.events.close();
             })
             .expect("spawning a job thread");
         *job.handle.lock().expect("job lock poisoned") = Some(handle);
@@ -364,11 +388,61 @@ struct LearnOutcome {
     search_secs: f64,
 }
 
+/// Fans the learner's progress stream out to the job's live status fields,
+/// its SSE event log, and the run-report builder.
+struct JobSink<'a> {
+    job: &'a Job,
+    report: &'a ReportBuilder,
+}
+
+impl ProgressSink for JobSink<'_> {
+    fn on_event(&self, ev: &ProgressEvent) {
+        self.report.on_event(ev);
+        match ev {
+            ProgressEvent::BcBuildFinished { pos_examples, .. } => {
+                let pos_examples = *pos_examples;
+                self.job.set_status(|s| {
+                    s.pos_total = pos_examples;
+                    s.uncovered_pos = pos_examples;
+                });
+            }
+            ProgressEvent::IterationStarted {
+                iteration,
+                uncovered_pos,
+                clauses_so_far,
+                ..
+            } => {
+                let (iteration, uncovered_pos, clauses) =
+                    (*iteration, *uncovered_pos, *clauses_so_far);
+                self.job.set_status(|s| {
+                    s.iteration = iteration;
+                    s.uncovered_pos = uncovered_pos;
+                    s.pos_covered = s.pos_total.saturating_sub(uncovered_pos);
+                    s.clauses = clauses;
+                });
+            }
+            ProgressEvent::ClauseAccepted {
+                uncovered_after, ..
+            } => {
+                let uncovered_after = *uncovered_after;
+                self.job.set_status(|s| {
+                    s.clauses += 1;
+                    s.uncovered_pos = uncovered_after;
+                    s.pos_covered = s.pos_total.saturating_sub(uncovered_after);
+                });
+            }
+            _ => {}
+        }
+        self.job.events.push(ev.to_sse_frame());
+    }
+}
+
 fn run_learn(
     job: &Job,
     spec: &JobSpec,
     ds: &Dataset,
     registry: &ModelRegistry,
+    ledger: Option<&RunLedger>,
 ) -> Result<LearnOutcome, String> {
     let bias = match spec.bias {
         BiasChoice::Auto => {
@@ -390,7 +464,44 @@ fn run_learn(
         ..LearnerConfig::default()
     };
     let train = TrainingSet::new(ds.pos.clone(), ds.neg.clone());
-    let (def, stats) = Learner::new(cfg).learn_cancellable(&ds.db, &bias, &train, &job.cancel);
+    let sampling = match spec.sampling {
+        SamplingStrategy::Naive { per_selection } => format!("naive:{per_selection}"),
+        SamplingStrategy::Random { per_selection, .. } => format!("random:{per_selection}"),
+        SamplingStrategy::Stratified { per_stratum } => format!("stratified:{per_stratum}"),
+        SamplingStrategy::Full => "full".to_string(),
+    };
+    // Counter/phase deltas in the report are process-global; with several
+    // jobs running concurrently they describe the overlap, not one job.
+    let report = ReportBuilder::new(
+        ds.name,
+        vec![
+            ("model".to_string(), job.model_name.clone()),
+            (
+                "bias".to_string(),
+                match spec.bias {
+                    BiasChoice::Auto => "auto".to_string(),
+                    BiasChoice::Manual => "manual".to_string(),
+                },
+            ),
+            ("sampling".to_string(), sampling),
+            ("depth".to_string(), spec.depth.to_string()),
+            ("seed".to_string(), spec.seed.to_string()),
+            ("max_clauses".to_string(), spec.max_clauses.to_string()),
+            ("reduce".to_string(), spec.reduce.to_string()),
+        ],
+    );
+    let sink = JobSink {
+        job,
+        report: &report,
+    };
+    let (def, stats) =
+        Learner::new(cfg).learn_with_progress(&ds.db, &bias, &train, &job.cancel, &sink);
+    if let Some(ledger) = ledger {
+        let json = report.finish().to_json();
+        if let Err(e) = ledger.archive(job.id, &json) {
+            obs::warn!("archiving run report for job {}: {e}", job.id);
+        }
+    }
 
     let clauses = def.len();
     let uncovered_pos = stats.uncovered_pos;
@@ -471,9 +582,10 @@ mod tests {
         let (registry, _) = ModelRegistry::open(&ds.db, &dir).unwrap();
         let registry = Arc::new(registry);
 
+        let ledger = Arc::new(RunLedger::open(dir.join("runs"), RunLedger::DEFAULT_CAP).unwrap());
         let mgr = JobManager::new();
         let spec = JobSpec::parse("name learned\nbias manual\n").unwrap();
-        let job = mgr.spawn_learn(spec, ds.clone(), registry.clone());
+        let job = mgr.spawn_learn(spec, ds.clone(), registry.clone(), Some(ledger.clone()));
         job.wait();
         let status = job.status();
         assert_eq!(status.state, JobState::Done, "{}", status.detail);
@@ -481,9 +593,41 @@ mod tests {
         assert!(registry.get("learned").is_some());
         assert!(dir.join("learned.model").exists());
 
+        // Live progress fields settled to the final values.
+        assert_eq!(status.pos_total, ds.pos.len());
+        assert_eq!(status.pos_covered, status.pos_total - status.uncovered_pos);
+        assert!(status.iteration >= 1, "at least one iteration recorded");
+
+        // The event log replayed the whole run and is closed.
+        assert!(job.events.is_closed());
+        let batch = job
+            .events
+            .wait_from(0, std::time::Duration::from_millis(10));
+        assert!(batch.closed);
+        assert!(
+            batch.frames.len() >= 3,
+            "bc build + iterations + finished, got {}",
+            batch.frames.len()
+        );
+        assert!(batch.frames[0].starts_with("event: bc_build_finished\n"));
+        assert!(batch
+            .frames
+            .last()
+            .unwrap()
+            .starts_with("event: finished\n"));
+
+        // The run report landed in the ledger and matches the outcome.
+        let json = ledger.get(job.id).expect("archived report");
+        let report = obs::json::Json::parse(&json).expect("report is valid JSON");
+        assert_eq!(
+            report.path(&["outcome", "clauses"]).unwrap().as_f64(),
+            Some(status.clauses as f64)
+        );
+        assert_eq!(report.get("dataset").unwrap().as_str(), Some("UW"));
+
         // A pre-cancelled job terminates as cancelled with an empty model.
         let spec = JobSpec::parse("name cancelled-model\nbias manual\n").unwrap();
-        let job2 = mgr.spawn_learn(spec, ds, registry.clone());
+        let job2 = mgr.spawn_learn(spec, ds, registry.clone(), None);
         job2.cancel();
         mgr.shutdown();
         let status = job2.status();
@@ -492,6 +636,7 @@ mod tests {
             "cancelled job must terminate, got {:?}",
             status.state
         );
+        assert!(job2.events.is_closed(), "terminal job closes its event log");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

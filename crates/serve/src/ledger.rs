@@ -1,0 +1,107 @@
+//! The bounded on-disk run ledger: one `run-{id}.json` file per finished
+//! learning job, pruned oldest-first past a cap so a long-lived server's
+//! report archive cannot grow without bound. Served by `GET /runs` and
+//! `GET /runs/{id}`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A directory of archived [`obs::RunReport`] JSON files, bounded to
+/// [`RunLedger::DEFAULT_CAP`] entries.
+pub struct RunLedger {
+    dir: PathBuf,
+    cap: usize,
+}
+
+impl RunLedger {
+    /// Default retention: job ids are monotonic per server process, so 64
+    /// reports comfortably outlive any polling client while keeping the
+    /// archive to a few MB.
+    pub const DEFAULT_CAP: usize = 64;
+
+    /// Opens (creating if needed) the ledger directory.
+    pub fn open(dir: impl Into<PathBuf>, cap: usize) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self {
+            dir,
+            cap: cap.max(1),
+        })
+    }
+
+    /// The ledger directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Archives one report under `run-{id}.json`, then prunes the oldest
+    /// entries (by id) past the cap.
+    pub fn archive(&self, id: u64, json: &str) -> io::Result<PathBuf> {
+        let path = self.dir.join(format!("run-{id}.json"));
+        std::fs::write(&path, json)?;
+        let mut ids = self.list();
+        if ids.len() > self.cap {
+            ids.sort_unstable();
+            for old in &ids[..ids.len() - self.cap] {
+                let _ = std::fs::remove_file(self.dir.join(format!("run-{old}.json")));
+            }
+        }
+        Ok(path)
+    }
+
+    /// Archived run ids, ascending.
+    pub fn list(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(|e| e.ok())
+                    .filter_map(|e| {
+                        e.file_name()
+                            .to_str()?
+                            .strip_prefix("run-")?
+                            .strip_suffix(".json")?
+                            .parse()
+                            .ok()
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The archived report JSON for `id`, if still retained.
+    pub fn get(&self, id: u64) -> Option<String> {
+        std::fs::read_to_string(self.dir.join(format!("run-{id}.json"))).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn archive_list_get_and_prune() {
+        let dir = std::env::temp_dir().join(format!(
+            "autobias_ledger_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let ledger = RunLedger::open(&dir, 3).unwrap();
+        assert!(ledger.list().is_empty());
+        assert!(ledger.get(1).is_none());
+
+        for id in 1..=5u64 {
+            ledger.archive(id, &format!("{{\"id\": {id}}}")).unwrap();
+        }
+        assert_eq!(ledger.list(), vec![3, 4, 5], "oldest pruned past cap");
+        assert!(ledger.get(1).is_none());
+        assert_eq!(ledger.get(5).as_deref(), Some("{\"id\": 5}"));
+
+        // Reopening sees the surviving entries.
+        let reopened = RunLedger::open(&dir, 3).unwrap();
+        assert_eq!(reopened.list(), vec![3, 4, 5]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

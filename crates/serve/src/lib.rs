@@ -21,12 +21,18 @@
 //!   [`autobias::learn::Learner::learn_cancellable`] ([`jobs`]).
 //! - **Observable.** `GET /metrics` exports request counters, latency
 //!   histograms, and the core engine's subsumption/coverage/bottom-clause
-//!   counters in the Prometheus text format ([`metrics`]).
+//!   counters in the Prometheus text format ([`metrics`]). Every learning
+//!   job additionally feeds a flight recorder: live progress in
+//!   `GET /jobs/{id}` and as an SSE stream on `GET /jobs/{id}/events`
+//!   ([`events`]), plus an archived JSON run report in a bounded on-disk
+//!   ledger served by `GET /runs/{id}` ([`ledger`]).
 
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod http;
 pub mod jobs;
+pub mod ledger;
 pub mod metrics;
 pub mod pool;
 pub mod registry;

@@ -36,18 +36,24 @@ pub enum Endpoint {
     Predict,
     /// `POST /jobs/learn`, `GET /jobs/*`, `POST /jobs/*/cancel`
     Jobs,
+    /// `GET /jobs/{id}/events` (the SSE stream)
+    Events,
+    /// `GET /runs`, `GET /runs/{id}` (archived run reports)
+    Runs,
     /// `POST /shutdown`
     Shutdown,
     /// Anything else (404s, parse failures).
     Other,
 }
 
-const ENDPOINTS: [(Endpoint, &str); 7] = [
+const ENDPOINTS: [(Endpoint, &str); 9] = [
     (Endpoint::Healthz, "healthz"),
     (Endpoint::Metrics, "metrics"),
     (Endpoint::Models, "models"),
     (Endpoint::Predict, "predict"),
     (Endpoint::Jobs, "jobs"),
+    (Endpoint::Events, "events"),
+    (Endpoint::Runs, "runs"),
     (Endpoint::Shutdown, "shutdown"),
     (Endpoint::Other, "other"),
 ];
@@ -118,6 +124,10 @@ struct EndpointStats {
 #[derive(Default)]
 pub struct Metrics {
     stats: [EndpointStats; ENDPOINTS.len()],
+    /// Streaming responses cut short because the client went away. A
+    /// watcher hanging up mid-SSE is normal operation, not a server error,
+    /// so these are counted here instead of `request_errors_total`.
+    client_disconnects: AtomicU64,
 }
 
 impl Metrics {
@@ -156,6 +166,16 @@ impl Metrics {
         self.stats[Self::idx(endpoint)]
             .requests
             .load(Ordering::Relaxed)
+    }
+
+    /// Records a client hanging up mid-stream (not an error).
+    pub fn disconnect(&self) {
+        self.client_disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Streaming responses cut short by the client so far.
+    pub fn client_disconnects(&self) -> u64 {
+        self.client_disconnects.load(Ordering::Relaxed)
     }
 
     /// Renders the Prometheus text format. `gauges` supplies point-in-time
@@ -205,6 +225,15 @@ impl Metrics {
                  autobias_request_duration_seconds_count{{endpoint=\"{name}\"}} {count}\n"
             ));
         }
+
+        out.push_str(
+            "# HELP autobias_client_disconnects_total Streaming responses cut short because the client hung up (not errors).\n\
+             # TYPE autobias_client_disconnects_total counter\n",
+        );
+        out.push_str(&format!(
+            "autobias_client_disconnects_total {}\n",
+            self.client_disconnects.load(Ordering::Relaxed)
+        ));
 
         render_phase_histograms(&mut out);
         render_registered_counters(&mut out);
@@ -305,6 +334,20 @@ mod tests {
         assert!(text.contains("autobias_core_subsumption_tests_total"));
         assert!(text.contains("autobias_phase_duration_seconds"));
         assert!(text.contains("autobias_trace_dropped_events_total"));
+    }
+
+    #[test]
+    fn client_disconnects_are_counted_separately_from_errors() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Events, Duration::from_secs(3), false);
+        m.disconnect();
+        m.disconnect();
+        assert_eq!(m.client_disconnects(), 2);
+        let text = m.render(&[]);
+        assert!(text.contains("autobias_client_disconnects_total 2"));
+        assert!(text.contains("autobias_requests_total{endpoint=\"events\"} 1"));
+        assert!(text.contains("autobias_request_errors_total{endpoint=\"events\"} 0"));
+        assert!(text.contains("autobias_requests_total{endpoint=\"runs\"} 0"));
     }
 
     #[test]

@@ -10,8 +10,12 @@
 //! loop with a loopback connection, and the server drains: queued
 //! connections finish, job threads are cancelled and joined.
 
-use crate::http::{read_request, write_response, HttpError, Request};
+use crate::http::{
+    finish_chunked, read_request, write_chunk, write_response, write_stream_head, HttpError,
+    Request,
+};
 use crate::jobs::{JobManager, JobSpec};
+use crate::ledger::RunLedger;
 use crate::metrics::{Endpoint, GaugeSample, Metrics};
 use crate::pool::WorkerPool;
 use crate::registry::ModelRegistry;
@@ -55,6 +59,7 @@ struct AppState {
     ds: Arc<Dataset>,
     registry: Arc<ModelRegistry>,
     jobs: JobManager,
+    ledger: Arc<RunLedger>,
     metrics: Metrics,
     shutting_down: AtomicBool,
     addr: SocketAddr,
@@ -98,6 +103,9 @@ pub fn serve(cfg: &ServeConfig) -> Result<(ServerHandle, crate::registry::Reload
         .map_err(|e| format!("loading {}: {e}", cfg.data_dir.display()))?;
     let (registry, report) = ModelRegistry::open(&ds.db, &cfg.models_dir)
         .map_err(|e| format!("models dir {}: {e}", cfg.models_dir.display()))?;
+    let runs_dir = cfg.models_dir.join("runs");
+    let ledger = RunLedger::open(&runs_dir, RunLedger::DEFAULT_CAP)
+        .map_err(|e| format!("runs dir {}: {e}", runs_dir.display()))?;
     let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
 
@@ -105,6 +113,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<(ServerHandle, crate::registry::Reload
         ds: Arc::new(ds),
         registry: Arc::new(registry),
         jobs: JobManager::new(),
+        ledger: Arc::new(ledger),
         metrics: Metrics::new(),
         shutting_down: AtomicBool::new(false),
         addr,
@@ -159,9 +168,77 @@ fn handle_connection(state: &Arc<AppState>, mut conn: TcpStream) {
         }
         Err(HttpError::Io(_)) => return, // client went away; nothing to say
     };
+    if req.method == "GET" && req.path.starts_with("/jobs/") && req.path.ends_with("/events") {
+        return handle_events_stream(state, &mut conn, &req, t0);
+    }
     let (endpoint, status, reason, body) = route(state, &req);
     state.metrics.observe(endpoint, t0.elapsed(), status >= 400);
     let _ = write_response(&mut conn, status, reason, &body);
+}
+
+/// `GET /jobs/{id}/events`: replays the job's event log as an SSE stream
+/// over chunked transfer, then follows it live until the job terminates.
+/// A client hanging up mid-stream is normal operation — it bumps
+/// `client_disconnects_total` and the request still counts as a success.
+fn handle_events_stream(state: &Arc<AppState>, conn: &mut TcpStream, req: &Request, t0: Instant) {
+    let Some(id) = parse_job_id(&req.path, "/events") else {
+        state.metrics.observe(Endpoint::Events, t0.elapsed(), true);
+        let _ = write_response(conn, 400, "Bad Request", "expected /jobs/{id}/events\n");
+        return;
+    };
+    let Some(job) = state.jobs.get(id) else {
+        state.metrics.observe(Endpoint::Events, t0.elapsed(), true);
+        let _ = write_response(conn, 404, "Not Found", &format!("no job {id}\n"));
+        return;
+    };
+    if write_stream_head(conn, 200, "OK", "text/event-stream").is_err() {
+        state.metrics.disconnect();
+        state.metrics.observe(Endpoint::Events, t0.elapsed(), false);
+        return;
+    }
+    let mut disconnected = false;
+    let mut next = 0usize;
+    'stream: loop {
+        let batch = job.events.wait_from(next, Duration::from_millis(500));
+        next = batch.next;
+        if batch.missed > 0 {
+            let frame = format!(
+                "event: dropped\ndata: {{\"event\":\"dropped\",\"missed\":{}}}\n\n",
+                batch.missed
+            );
+            if write_chunk(conn, frame.as_bytes()).is_err() {
+                disconnected = true;
+                break 'stream;
+            }
+        }
+        for frame in &batch.frames {
+            if write_chunk(conn, frame.as_bytes()).is_err() {
+                disconnected = true;
+                break 'stream;
+            }
+        }
+        if batch.closed {
+            break;
+        }
+        // Worker threads must stay joinable during drain: a stream over a
+        // job the drain has not yet cancelled would otherwise block
+        // `pool.shutdown()` forever.
+        if state.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        if batch.frames.is_empty() {
+            // SSE comment as keep-alive; also how a dead client is noticed
+            // between events.
+            if write_chunk(conn, b": keep-alive\n\n").is_err() {
+                disconnected = true;
+                break 'stream;
+            }
+        }
+    }
+    if disconnected || finish_chunked(conn).is_err() {
+        state.metrics.disconnect();
+    }
+    state.metrics.observe(Endpoint::Events, t0.elapsed(), false);
 }
 
 const API_HELP: &str = "\
@@ -173,8 +250,11 @@ endpoints:
   POST /predict            body: `model NAME` then one CSV tuple per line
   POST /jobs/learn         start a background learning job (key value lines)
   GET  /jobs               list jobs
-  GET  /jobs/{id}          poll one job
+  GET  /jobs/{id}          poll one job (includes live progress)
+  GET  /jobs/{id}/events   live progress events (SSE over chunked transfer)
   POST /jobs/{id}/cancel   cancel one job
+  GET  /runs               list archived run reports
+  GET  /runs/{id}          fetch one archived run report (JSON)
   POST /shutdown           drain and stop
 ";
 
@@ -253,10 +333,12 @@ fn route(state: &Arc<AppState>, req: &Request) -> (Endpoint, u16, &'static str, 
             }
             match JobSpec::parse(&req.body) {
                 Ok(spec) => {
-                    let job =
-                        state
-                            .jobs
-                            .spawn_learn(spec, state.ds.clone(), state.registry.clone());
+                    let job = state.jobs.spawn_learn(
+                        spec,
+                        state.ds.clone(),
+                        state.registry.clone(),
+                        Some(state.ledger.clone()),
+                    );
                     (
                         Endpoint::Jobs,
                         202,
@@ -310,6 +392,30 @@ fn route(state: &Arc<AppState>, req: &Request) -> (Endpoint, u16, &'static str, 
                 ),
             }
         }
+        ("GET", "/runs") => {
+            let mut out = String::new();
+            for id in state.ledger.list() {
+                out.push_str(&format!("{id}\n"));
+            }
+            (Endpoint::Runs, 200, "OK", out)
+        }
+        ("GET", path) if path.starts_with("/runs/") => {
+            match path
+                .strip_prefix("/runs/")
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                Some(id) => match state.ledger.get(id) {
+                    Some(json) => (Endpoint::Runs, 200, "OK", json),
+                    None => (Endpoint::Runs, 404, "Not Found", format!("no run {id}\n")),
+                },
+                None => (
+                    Endpoint::Runs,
+                    400,
+                    "Bad Request",
+                    "expected /runs/{id}\n".to_string(),
+                ),
+            }
+        }
         ("POST", "/shutdown") => {
             state.shutting_down.store(true, Ordering::SeqCst);
             // Wake the accept loop so it observes the flag; it drops this
@@ -336,12 +442,15 @@ fn parse_job_id(path: &str, suffix: &str) -> Option<u64> {
 fn render_job(job: &crate::jobs::Job) -> String {
     let s = job.status();
     let mut out = format!(
-        "id {}\nmodel {}\nstate {}\nclauses {}\nuncovered {}\n",
+        "id {}\nmodel {}\nstate {}\nclauses {}\nuncovered {}\niteration {}\nprogress {}/{}\n",
         job.id,
         job.model_name,
         s.state.as_str(),
         s.clauses,
-        s.uncovered_pos
+        s.uncovered_pos,
+        s.iteration,
+        s.pos_covered,
+        s.pos_total
     );
     if let Some(secs) = s.elapsed_secs {
         out.push_str(&format!("elapsed {secs:.3}\n"));
