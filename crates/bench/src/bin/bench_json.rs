@@ -5,10 +5,13 @@
 //! Usage:
 //!   bench_json [--dataset NAME] [--folds N] [--out-dir DIR]
 //!
-//! Each file holds, per method, the quality/time cell and a `"phases"` map
+//! Each file holds, per method, the quality/time cell, a `"phases"` map
 //! keyed by span name (`learn`, `learn.bc_build`, `bc.build`,
 //! `learn.clause_search`, `coverage.theta`, ...) with count / total / mean /
-//! max timings aggregated over all folds of that method's run.
+//! max timings aggregated over all folds of that method's run, and a
+//! `"counters"` map of registered-counter deltas over the run (cache hits,
+//! skipped negative tests, deduped candidates, ...) so `bench_compare` can
+//! gate on the caching machinery staying engaged, not just on wall-clock.
 
 use autobias_bench::harness::{run_table5_cell, selected_datasets, Args, HarnessConfig, Method};
 use obs::chrome::json_escape;
@@ -33,6 +36,12 @@ fn main() {
         let methods = [Method::Manual, Method::AutoBias];
         for (i, m) in methods.iter().enumerate() {
             obs::reset();
+            // Counter snapshot before the run: the per-method "counters" map
+            // holds deltas, so methods don't see each other's work.
+            let before: Vec<(&'static str, u64)> = obs::metrics::registered()
+                .iter()
+                .map(|c| (c.name(), c.get()))
+                .collect();
             match run_table5_cell(&ds, *m, &h) {
                 Ok(c) => {
                     writeln!(json, "    \"{}\": {{", json_escape(m.label())).unwrap();
@@ -63,6 +72,25 @@ fn main() {
                         )
                         .unwrap();
                         json.push_str(if j + 1 < phases.len() { ",\n" } else { "\n" });
+                    }
+                    json.push_str("      },\n");
+                    // Registered-counter deltas over this method's run (zero
+                    // deltas elided). Counters registered mid-run count from 0.
+                    let deltas: Vec<(&'static str, u64)> = obs::metrics::registered()
+                        .iter()
+                        .map(|c| {
+                            let prev = before
+                                .iter()
+                                .find(|(n, _)| *n == c.name())
+                                .map_or(0, |&(_, v)| v);
+                            (c.name(), c.get().saturating_sub(prev))
+                        })
+                        .filter(|&(_, d)| d != 0)
+                        .collect();
+                    json.push_str("      \"counters\": {\n");
+                    for (j, (name, delta)) in deltas.iter().enumerate() {
+                        write!(json, "        \"{}\": {}", json_escape(name), delta).unwrap();
+                        json.push_str(if j + 1 < deltas.len() { ",\n" } else { "\n" });
                     }
                     json.push_str("      }\n");
                     json.push_str("    }");

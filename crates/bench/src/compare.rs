@@ -9,6 +9,10 @@
 //!   `baseline × phase_tolerance` (tiny phases are pure noise);
 //! - `f_measure` drops more than `quality_margin` below the baseline — a
 //!   speedup that loses recall is not a win;
+//! - a gated counter (currently the coverage-cache hit counter) is positive
+//!   in the baseline but zero or missing in the fresh run — the phase
+//!   tolerances assume the memo is engaged, so a silently disabled cache
+//!   must fail loudly rather than eat the whole timing budget;
 //! - a method or gated phase disappears from the fresh run (a structural
 //!   change that should come with a baseline refresh).
 //!
@@ -17,6 +21,11 @@
 //! CI runners warrant generous ratios (the workflow uses ≥ 2×).
 
 use obs::json::Json;
+
+/// Counters gated by [`compare`]: positive in the baseline ⇒ must stay
+/// positive in the fresh run. Deliberately a "still engaged" check, not a
+/// ratio — counter magnitudes shift with legitimate search-order changes.
+const GATED_COUNTERS: [&str; 1] = ["autobias_core_coverage_cache_hits_total"];
 
 /// Thresholds for [`compare`]. Ratios are multiplicative (2.0 = "may take
 /// twice as long"), the quality margin is absolute in F-measure points.
@@ -170,6 +179,27 @@ pub fn compare(baseline: &Json, fresh: &Json, cfg: &CompareConfig) -> Result<Out
                 base_t * cfg.phase_tolerance,
             );
         }
+        let base_counters = base.get("counters").and_then(Json::as_obj);
+        for (name, entry) in base_counters.unwrap_or(&[]) {
+            if !GATED_COUNTERS.contains(&name.as_str()) {
+                continue;
+            }
+            let base_v = match entry.as_f64() {
+                Some(v) if v > 0.0 => v,
+                _ => continue,
+            };
+            let fresh_v = fresh_m
+                .path(&["counters", name.as_str()])
+                .and_then(Json::as_f64);
+            // A floor at 1: negate both sides of the ceiling check.
+            out.check_ceiling(
+                &method,
+                &format!("counter:{name}"),
+                -base_v,
+                fresh_v.map(|v| -v),
+                -1.0,
+            );
+        }
     }
     if out.checks == 0 {
         return Err("baseline has no usable methods to compare".to_string());
@@ -286,6 +316,56 @@ mod tests {
         let out = compare(&base, &renamed, &CompareConfig::default()).unwrap();
         assert_eq!(out.regressions.len(), 1);
         assert_eq!(out.regressions[0].what, "phase:coverage.theta");
+    }
+
+    fn doc_with_counters(cache_hits: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"dataset": "UW", "folds": 2, "methods": {{
+                "AutoBias": {{
+                    "f_measure": 0.9, "time_secs": 10.0,
+                    "phases": {{}},
+                    "counters": {{
+                        "autobias_core_coverage_cache_hits_total": {cache_hits},
+                        "autobias_core_subsumption_tests_total": 5000
+                    }}
+                }}
+            }}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn disabled_cache_fails_the_counter_gate() {
+        let base = doc_with_counters(1200);
+        // Engaged cache passes, whatever the magnitude.
+        let out = compare(&base, &doc_with_counters(3), &CompareConfig::default()).unwrap();
+        assert!(out.passed(), "{:?}", out.regressions);
+        // A zero or missing hit counter fails.
+        let out = compare(&base, &doc_with_counters(0), &CompareConfig::default()).unwrap();
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(
+            out.regressions[0].what,
+            "counter:autobias_core_coverage_cache_hits_total"
+        );
+        let stripped = Json::parse(
+            r#"{"dataset": "UW", "methods": {"AutoBias": {
+                "f_measure": 0.9, "time_secs": 10.0, "phases": {}
+            }}}"#,
+        )
+        .unwrap();
+        let out = compare(&base, &stripped, &CompareConfig::default()).unwrap();
+        assert_eq!(out.regressions.len(), 1);
+        assert!(out.regressions[0].fresh.is_nan());
+        // Ungated counters never gate: a baseline without cache hits makes
+        // no counter checks at all.
+        let out = compare(
+            &doc_with_counters(0),
+            &doc_with_counters(0),
+            &CompareConfig::default(),
+        )
+        .unwrap();
+        assert!(out.passed());
+        assert_eq!(out.checks, 2); // time + quality only
     }
 
     #[test]

@@ -90,7 +90,7 @@ USAGE:
 
 Every command accepts --log-level error|warn|info|debug (or set AUTOBIAS_LOG).
 learn: --trace-out writes a chrome-trace JSON (open in ui.perfetto.dev);
-       --profile prints a per-phase wall-clock summary table to stderr;
+       --profile prints per-phase wall-clock and counter tables to stderr;
        --report-out writes a structured JSON run report (schema v1).
 jobs watch: streams a running server's learning-job progress events (SSE).";
 
@@ -329,6 +329,10 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
     }
     if profile {
         eprint!("{}", obs::render_summary_table());
+        let counters = obs::metrics::render_counters_table();
+        if !counters.is_empty() {
+            eprint!("\n{counters}");
+        }
     }
     Ok(())
 }

@@ -1,0 +1,479 @@
+//! Canonical clause forms for coverage memoization.
+//!
+//! The coverage cache ([`crate::coverage::CoverageEngine`]) keys its memo
+//! table on a *canonical form* of each candidate clause, so α-equivalent
+//! candidates — the same clause up to variable renaming and body-literal
+//! reordering — share one cache entry. armg produces such duplicates
+//! constantly: different beam members generalized toward different sample
+//! examples frequently collapse to the same clause, and seeds whose bottom
+//! clauses enumerate the same neighbourhood in different orders produce
+//! reordered copies.
+//!
+//! ## The chosen normal form
+//!
+//! [`canonical_form`] returns an actual [`Clause`] (not just a hash), built
+//! in three steps:
+//!
+//! 1. **Color refinement.** Every variable gets a color. Head variables
+//!    start colored by their first head position (the head binding makes
+//!    them semantically distinct); body-only variables start uniform.
+//!    Colors are then refined Weisfeiler–Leman-style: each round, a
+//!    literal's signature is its relation plus the colors/constants at each
+//!    argument position, and a variable's new color folds in the sorted
+//!    multiset of `(literal signature, position)` pairs it occurs at.
+//!    Rounds repeat until the color partition stops splitting.
+//! 2. **Individualization.** If a color class still holds several variables
+//!    (symmetric occurrences), the class with the smallest color is split by
+//!    individualizing the member whose refined result yields the
+//!    lexicographically smallest global signature, then re-refining. Each
+//!    step makes at least one more variable unique, so at most `V` steps run.
+//! 3. **Rewrite.** Body literals are sorted by their final signature and
+//!    variables renumbered densely by first occurrence (head first, then the
+//!    sorted body).
+//!
+//! ## Soundness vs. completeness
+//!
+//! Cache *soundness* needs only one direction: clauses with **equal**
+//! canonical forms must have identical coverage. That holds trivially —
+//! equal canonical forms are literally the same clause, and coverage is
+//! invariant under α-equivalence. The converse (every α-equivalent pair
+//! collapsing to one form) is best-effort: color refinement cannot separate
+//! some pathological automorphism-free symmetric structures, and an
+//! unseparated tie falls back to input order. Such cases cost a cache miss,
+//! never a wrong answer. For the head-connected, mostly-tree-shaped clauses
+//! armg produces, refinement separates everything in practice.
+
+use crate::clause::{Clause, Term, VarId};
+use relstore::FxHashMap;
+use std::hash::{Hash, Hasher};
+
+/// SplitMix64-style mix used to combine structural features into colors.
+/// Not exposed; only relative equality of colors matters, never stability
+/// across processes.
+#[inline]
+fn mix(h: u64, v: u64) -> u64 {
+    let mut x = h ^ v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Tag values keeping constants, variables, and structural roles from
+/// colliding in the mix.
+const TAG_CONST: u64 = 0x5151;
+const TAG_VAR: u64 = 0xA7A7;
+const TAG_HEAD: u64 = 0xC3C3;
+const TAG_INDIV: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// Cap on individualization trials (class-member refinements) per clause.
+/// Trial counts are isomorphism-invariant (class sizes are), so α-variants
+/// hit — or don't hit — this cap together.
+const MAX_INDIV_TRIALS: usize = 64;
+
+/// Occurrences of each variable: `(body literal index, argument position)`.
+/// Head occurrences are folded into the initial colors instead.
+fn occurrences(clause: &Clause, num_vars: usize) -> Vec<Vec<(u32, u32)>> {
+    let mut occ: Vec<Vec<(u32, u32)>> = vec![Vec::new(); num_vars];
+    for (li, lit) in clause.body.iter().enumerate() {
+        for (pos, t) in lit.args.iter().enumerate() {
+            if let Term::Var(v) = t {
+                occ[v.index()].push((li as u32, pos as u32));
+            }
+        }
+    }
+    occ
+}
+
+/// Signature of one body literal under the current variable coloring.
+fn literal_sig(clause: &Clause, li: usize, colors: &[u64]) -> u64 {
+    let lit = &clause.body[li];
+    let mut h = mix(TAG_VAR.wrapping_add(1), lit.rel.0 as u64);
+    for t in lit.args.iter() {
+        h = match *t {
+            Term::Const(c) => mix(h, mix(TAG_CONST, c.0 as u64)),
+            Term::Var(v) => mix(h, mix(TAG_VAR, colors[v.index()])),
+        };
+    }
+    h
+}
+
+/// One full refinement pass to a fixpoint of the color *partition* (values
+/// keep churning each round; refinement stops when the grouping of
+/// variables into equal-color classes stops changing). The stop condition
+/// must be an isomorphism invariant — the number of rounds run feeds the
+/// final color values, and α-variants must execute the same count — so
+/// partitions are compared as first-occurrence class labelings, never by
+/// color-value order.
+fn refine(clause: &Clause, colors: &mut [u64], occ: &[Vec<(u32, u32)>], used: &[bool]) {
+    let num_vars = colors.len();
+    let mut prev_classes = partition_labels(colors, used);
+    for _round in 0..num_vars.max(2) {
+        let sigs: Vec<u64> = (0..clause.body.len())
+            .map(|li| literal_sig(clause, li, colors))
+            .collect();
+        let mut next = vec![0u64; num_vars];
+        for (v, slots) in occ.iter().enumerate() {
+            let mut feats: Vec<u64> = slots
+                .iter()
+                .map(|&(li, pos)| mix(sigs[li as usize], pos as u64))
+                .collect();
+            feats.sort_unstable();
+            let mut h = colors[v];
+            for f in feats {
+                h = mix(h, f);
+            }
+            next[v] = h;
+        }
+        colors.copy_from_slice(&next);
+        let classes = partition_labels(colors, used);
+        if classes == prev_classes {
+            return;
+        }
+        prev_classes = classes;
+    }
+}
+
+/// Labels each **used** variable's color class by first occurrence in index
+/// order, so two colorings compare equal iff they induce the same
+/// *partition* of the clause's variables — independent of the color values
+/// themselves (which churn every round) and of unused id-range gaps (which
+/// would otherwise make the round count, and thus the final colors, depend
+/// on how the input happened to number its variables).
+fn partition_labels(colors: &[u64], used: &[bool]) -> Vec<u32> {
+    let mut label_of: FxHashMap<u64, u32> = FxHashMap::default();
+    colors
+        .iter()
+        .zip(used)
+        .filter(|&(_, &u)| u)
+        .map(|(&c, _)| {
+            let next = label_of.len() as u32;
+            *label_of.entry(c).or_insert(next)
+        })
+        .collect()
+}
+
+/// Global structural signature under a coloring: the sorted body-literal
+/// signatures. Used to pick the individualization branch deterministically.
+fn global_sig(clause: &Clause, colors: &[u64]) -> Vec<u64> {
+    let mut sigs: Vec<u64> = (0..clause.body.len())
+        .map(|li| literal_sig(clause, li, colors))
+        .collect();
+    sigs.sort_unstable();
+    sigs
+}
+
+/// Returns the canonical form of `clause`: body literals in normal-form
+/// order, variables renumbered densely by first occurrence (head variables
+/// first). α-equivalent clauses map to equal canonical forms whenever color
+/// refinement separates their variables (always, for the clause shapes armg
+/// produces); the result is always a genuine α-variant of the input, so
+/// using it in place of the input never changes coverage semantics.
+pub fn canonical_form(clause: &Clause) -> Clause {
+    let num_vars = clause.num_vars() as usize;
+    let occ = occurrences(clause, num_vars);
+    let mut used = vec![false; num_vars];
+    for (v, slots) in occ.iter().enumerate() {
+        used[v] = !slots.is_empty();
+    }
+    for v in clause.head.vars() {
+        used[v.index()] = true;
+    }
+
+    // Initial colors: head variables by first head position, body-only
+    // variables uniform, unused ids parked on a sentinel.
+    let mut colors = vec![mix(TAG_VAR, 0); num_vars];
+    for (pos, t) in clause.head.args.iter().enumerate() {
+        if let Term::Var(v) = t {
+            if colors[v.index()] == mix(TAG_VAR, 0) {
+                colors[v.index()] = mix(TAG_HEAD, pos as u64);
+            }
+        }
+    }
+    refine(clause, &mut colors, &occ, &used);
+
+    // Individualize remaining ties. Each pass makes one more variable
+    // unique, so the loop is bounded by the variable count; the trial
+    // budget caps pathological all-symmetric clauses (exceeding it only
+    // costs canonicalization completeness — a cache miss, never a wrong
+    // answer).
+    let mut trials = 0usize;
+    for _ in 0..num_vars {
+        let mut classes: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+        for (v, &c) in colors.iter().enumerate() {
+            if used[v] {
+                classes.entry(c).or_default().push(v);
+            }
+        }
+        let Some((_, members)) = classes
+            .into_iter()
+            .filter(|(_, m)| m.len() > 1)
+            .min_by_key(|&(c, _)| c)
+        else {
+            break;
+        };
+        trials += members.len();
+        if trials > MAX_INDIV_TRIALS {
+            break;
+        }
+        let mut best: Option<(Vec<u64>, Vec<u64>)> = None;
+        for &v in &members {
+            let mut trial = colors.clone();
+            trial[v] = mix(trial[v], TAG_INDIV);
+            refine(clause, &mut trial, &occ, &used);
+            let sig = global_sig(clause, &trial);
+            if best.as_ref().is_none_or(|(bs, _)| sig < *bs) {
+                best = Some((sig, trial));
+            }
+        }
+        colors = best.expect("tied class is non-empty").1;
+    }
+
+    // Order body literals by final signature; a stable sort keeps genuine
+    // duplicates (and the ultra-rare unresolved tie) in input order.
+    let mut order: Vec<usize> = (0..clause.body.len()).collect();
+    let sigs: Vec<u64> = (0..clause.body.len())
+        .map(|li| literal_sig(clause, li, &colors))
+        .collect();
+    order.sort_by_key(|&li| sigs[li]);
+
+    // Renumber densely: head argument order first, then sorted-body
+    // first-occurrence order.
+    let mut map: FxHashMap<VarId, VarId> = FxHashMap::default();
+    let mut next = 0u32;
+    let mut renamed = |t: &Term, map: &mut FxHashMap<VarId, VarId>| match *t {
+        Term::Const(c) => Term::Const(c),
+        Term::Var(v) => Term::Var(*map.entry(v).or_insert_with(|| {
+            let nv = VarId(next);
+            next += 1;
+            nv
+        })),
+    };
+    let head = crate::clause::Literal::new(
+        clause.head.rel,
+        clause
+            .head
+            .args
+            .iter()
+            .map(|t| renamed(t, &mut map))
+            .collect::<Vec<_>>(),
+    );
+    let body = order
+        .into_iter()
+        .map(|li| {
+            let lit = &clause.body[li];
+            crate::clause::Literal::new(
+                lit.rel,
+                lit.args
+                    .iter()
+                    .map(|t| renamed(t, &mut map))
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    Clause::new(head, body)
+}
+
+/// 64-bit hash of the canonical form — a fingerprint for tests, logging,
+/// and quick inequality checks. The memo table itself keys on the full
+/// canonical [`Clause`] (hash collisions resolved by `Eq`), so this hash is
+/// never trusted for equality.
+pub fn canonical_key(clause: &Clause) -> u64 {
+    let canon = canonical_form(clause);
+    let mut h = relstore::fxhash::FxHasher::default();
+    canon.head.hash(&mut h);
+    canon.body.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clause::{Literal, Term, VarId};
+    use relstore::{Const, RelId};
+
+    fn v(n: u32) -> Term {
+        Term::Var(VarId(n))
+    }
+
+    fn k(n: u32) -> Term {
+        Term::Const(Const(n))
+    }
+
+    /// t(x, y) ← r(x, z), s(z, y), u(z)
+    fn chain() -> Clause {
+        Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+                Literal::new(RelId(1), vec![v(2), v(1)]),
+                Literal::new(RelId(2), vec![v(2)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn renamed_variables_hash_equal() {
+        // Same clause with every variable id scrambled.
+        let renamed = Clause::new(
+            Literal::new(RelId(9), vec![v(7), v(3)]),
+            vec![
+                Literal::new(RelId(0), vec![v(7), v(11)]),
+                Literal::new(RelId(1), vec![v(11), v(3)]),
+                Literal::new(RelId(2), vec![v(11)]),
+            ],
+        );
+        assert_eq!(canonical_form(&chain()), canonical_form(&renamed));
+        assert_eq!(canonical_key(&chain()), canonical_key(&renamed));
+    }
+
+    #[test]
+    fn reordered_body_hashes_equal() {
+        let reordered = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![
+                Literal::new(RelId(2), vec![v(2)]),
+                Literal::new(RelId(1), vec![v(2), v(1)]),
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+            ],
+        );
+        assert_eq!(canonical_form(&chain()), canonical_form(&reordered));
+        assert_eq!(canonical_key(&chain()), canonical_key(&reordered));
+    }
+
+    #[test]
+    fn renamed_and_reordered_hashes_equal() {
+        let both = Clause::new(
+            Literal::new(RelId(9), vec![v(5), v(2)]),
+            vec![
+                Literal::new(RelId(1), vec![v(9), v(2)]),
+                Literal::new(RelId(2), vec![v(9)]),
+                Literal::new(RelId(0), vec![v(5), v(9)]),
+            ],
+        );
+        assert_eq!(canonical_form(&chain()), canonical_form(&both));
+    }
+
+    #[test]
+    fn different_constants_hash_differently() {
+        let with_c1 = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![Literal::new(RelId(0), vec![v(0), k(10)])],
+        );
+        let with_c2 = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![Literal::new(RelId(0), vec![v(0), k(11)])],
+        );
+        assert_ne!(canonical_form(&with_c1), canonical_form(&with_c2));
+        assert_ne!(canonical_key(&with_c1), canonical_key(&with_c2));
+    }
+
+    #[test]
+    fn different_arity_or_relation_hash_differently() {
+        let unary = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![Literal::new(RelId(0), vec![v(0)])],
+        );
+        let binary = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![Literal::new(RelId(0), vec![v(0), v(2)])],
+        );
+        let other_rel = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![Literal::new(RelId(1), vec![v(0)])],
+        );
+        assert_ne!(canonical_key(&unary), canonical_key(&binary));
+        assert_ne!(canonical_key(&unary), canonical_key(&other_rel));
+    }
+
+    #[test]
+    fn head_variable_roles_are_distinguished() {
+        // t(x, y) ← r(x) is NOT α-equivalent to t(x, y) ← r(y): head
+        // positions pin the variables.
+        let first = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![Literal::new(RelId(0), vec![v(0)])],
+        );
+        let second = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![Literal::new(RelId(0), vec![v(1)])],
+        );
+        assert_ne!(canonical_form(&first), canonical_form(&second));
+    }
+
+    #[test]
+    fn symmetric_body_variables_are_separated_deterministically() {
+        // t(x) ← r(x, a), r(x, b), u(a): a and b start symmetric until u(a)
+        // splits them. The two presentation orders must collapse together.
+        let one = Clause::new(
+            Literal::new(RelId(9), vec![v(0)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(1)]),
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+                Literal::new(RelId(2), vec![v(1)]),
+            ],
+        );
+        let two = Clause::new(
+            Literal::new(RelId(9), vec![v(0)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(5)]),
+                Literal::new(RelId(0), vec![v(0), v(4)]),
+                Literal::new(RelId(2), vec![v(4)]),
+            ],
+        );
+        assert_eq!(canonical_form(&one), canonical_form(&two));
+    }
+
+    #[test]
+    fn fully_symmetric_duplicates_collapse() {
+        // t(x) ← r(x, a), r(x, b): a and b are truly automorphic; the
+        // individualization step must still produce one stable form for
+        // both orders.
+        let one = Clause::new(
+            Literal::new(RelId(9), vec![v(0)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(1)]),
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+            ],
+        );
+        let two = Clause::new(
+            Literal::new(RelId(9), vec![v(0)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(8)]),
+                Literal::new(RelId(0), vec![v(0), v(3)]),
+            ],
+        );
+        assert_eq!(canonical_form(&one), canonical_form(&two));
+    }
+
+    #[test]
+    fn canonical_form_is_a_fixpoint_and_alpha_variant() {
+        let c = chain();
+        let canon = canonical_form(&c);
+        // Idempotent.
+        assert_eq!(canonical_form(&canon), canon);
+        // Same shape: relation multiset and literal count preserved.
+        assert_eq!(canon.body.len(), c.body.len());
+        let mut rels_a: Vec<u32> = c.body.iter().map(|l| l.rel.0).collect();
+        let mut rels_b: Vec<u32> = canon.body.iter().map(|l| l.rel.0).collect();
+        rels_a.sort_unstable();
+        rels_b.sort_unstable();
+        assert_eq!(rels_a, rels_b);
+        // Variables are densely renumbered starting from the head.
+        assert_eq!(canon.head.args[0], v(0));
+        assert_eq!(canon.head.args[1], v(1));
+        assert!(canon.num_vars() <= c.num_vars());
+    }
+
+    #[test]
+    fn ground_literals_and_empty_bodies_work() {
+        let ground = Clause::new(
+            Literal::new(RelId(9), vec![k(1), k(2)]),
+            vec![Literal::new(RelId(0), vec![k(3)])],
+        );
+        assert_eq!(canonical_form(&ground), ground);
+        let empty = Clause::new(Literal::new(RelId(9), vec![v(0), v(1)]), vec![]);
+        assert_eq!(canonical_form(&empty), empty);
+    }
+}

@@ -86,8 +86,10 @@ impl Literal {
 }
 
 /// A Horn clause: one head literal and a conjunctive body
-/// (paper Definition 2.1).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// (paper Definition 2.1). `Hash` hashes the literal structure verbatim, so
+/// only syntactically identical clauses collide — the coverage memo keys on
+/// canonical forms ([`crate::canon`]) to get α-equivalence classes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Clause {
     /// The single positive (head) literal.
     pub head: Literal,

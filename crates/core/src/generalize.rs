@@ -150,9 +150,13 @@ pub struct LearnClauseStats {
     pub candidates_scored: usize,
     /// Distinct candidates generated by armg across all iterations.
     pub candidates_generated: usize,
-    /// Candidates skipped by the positive-coverage upper bound before any
-    /// negative scoring.
+    /// Candidates skipped before full scoring: by the positive-coverage
+    /// upper bound, or because the monotone negative cutoff proved their
+    /// score strictly below the beam's k-th best.
     pub candidates_pruned: usize,
+    /// armg results dropped as α-equivalent duplicates (canonical-form
+    /// dedup) of a candidate already kept this iteration.
+    pub candidates_deduped: usize,
 }
 
 /// The `LearnClause` step of Algorithm 1: builds candidates from the seed's
@@ -204,33 +208,37 @@ pub fn learn_clause<R: Rng>(
                 }
             }
         }
-        // Distinct armg results often coincide; score each once.
-        let mut seen = relstore::FxHashSet::default();
+        // Distinct armg results often coincide — across beam members, across
+        // sample examples, and as α-variants of each other. Canonical forms
+        // collapse all of those so each equivalence class is scored once,
+        // and the kept clause IS the canonical form, so the coverage memo
+        // keys below are exact repeats.
+        let raw_len = raw.len();
+        let mut seen: relstore::FxHashSet<Clause> = relstore::FxHashSet::default();
         let mut unique: Vec<Clause> = Vec::new();
-        for mut c in raw {
-            c.canonicalize_vars();
-            if seen.insert(format!("{:?}", (&c.head, &c.body))) {
-                unique.push(c);
+        for c in raw {
+            let canon = engine.canonical(&c);
+            if seen.insert(canon.clone()) {
+                unique.push(canon);
             }
         }
+        stats.candidates_deduped += raw_len - unique.len();
         if unique.is_empty() {
             break;
         }
         stats.candidates_generated += unique.len();
 
+        // Positive halves of all candidates scored as one batched parallel
+        // map over (candidate × example) pairs — balanced even when the
+        // beam holds one expensive clause and several cheap ones.
+        let ps = engine.batch_covered_pos(&unique, uncovered);
+        let mut with_p: Vec<(Clause, usize)> = unique.into_iter().zip(ps).collect();
+        with_p.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.len().cmp(&b.0.len())));
+
         // Scoring with sound pruning: score = p − n ≤ p, so once a
         // candidate's positive coverage cannot beat the beam's k-th best
         // full score, negative counting (the expensive half over every
         // negative example) is skipped.
-        let mut with_p: Vec<(Clause, usize)> = unique
-            .into_iter()
-            .map(|c| {
-                let p = engine.covered_pos_subset(&c, uncovered).len();
-                (c, p)
-            })
-            .collect();
-        with_p.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.len().cmp(&b.0.len())));
-
         let mut candidates: Vec<(Clause, i64)> = Vec::new();
         let total = with_p.len();
         for (idx, (c, p)) in with_p.into_iter().enumerate() {
@@ -250,10 +258,23 @@ pub fn learn_clause<R: Rng>(
                 }
             }
             stats.candidates_scored += 1;
-            let n = engine.count_neg(&c);
-            let s = p as i64 - n as i64;
+            // Monotone cutoff: the candidate can only enter the beam if
+            // s = p − n ≥ kth, i.e. n ≤ p − kth (p > kth here, so the cast
+            // is safe). Exceeding the cutoff proves s < kth strictly — such
+            // a candidate could never displace a beam entry, so dropping it
+            // leaves the final beam bit-identical to exact scoring.
+            let cutoff = kth_best.map(|kth| (p as i64 - kth) as usize);
+            let n = engine.count_neg_budget(&c, cutoff);
+            if n.exceeds(cutoff) {
+                stats.candidates_pruned += 1;
+                continue;
+            }
+            let s = p as i64 - n.value() as i64;
             candidates.push((c, s));
             candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.len().cmp(&b.0.len())));
+        }
+        if candidates.is_empty() {
+            break;
         }
         candidates.truncate(cfg.beam_width);
 
@@ -273,12 +294,14 @@ pub fn learn_clause<R: Rng>(
 
     crate::instrument::CANDIDATES_GENERATED.add(stats.candidates_generated as u64);
     crate::instrument::CANDIDATES_PRUNED.add(stats.candidates_pruned as u64);
+    crate::instrument::CANDIDATES_DEDUPED.add(stats.candidates_deduped as u64);
     if sp.is_active() {
         sp.note("iterations", stats.iterations as u64);
         sp.note("armg_calls", stats.armg_calls as u64);
         sp.note("candidates_generated", stats.candidates_generated as u64);
         sp.note("candidates_scored", stats.candidates_scored as u64);
         sp.note("candidates_pruned", stats.candidates_pruned as u64);
+        sp.note("candidates_deduped", stats.candidates_deduped as u64);
         sp.note("best_len", best.len() as u64);
     }
     (best, stats)

@@ -4,7 +4,7 @@
 use crate::bias::LanguageBias;
 use crate::bottom::BcConfig;
 use crate::clause::{Clause, Definition};
-use crate::coverage::CoverageEngine;
+use crate::coverage::{Bitset, CoverageEngine};
 use crate::example::TrainingSet;
 use crate::generalize::{learn_clause, GenConfig};
 use crate::subsume::SubsumeConfig;
@@ -233,15 +233,13 @@ impl Learner {
                 armg_calls: cstats.armg_calls,
             });
 
-            let covered = engine.covered_pos_subset(&clause, &uncovered);
+            let uncovered_mask = Bitset::from_indices(train.pos.len(), &uncovered);
+            let covered_mask = engine.covered_pos_mask(&clause, &uncovered_mask);
+            let covered_len = covered_mask.count_ones();
             let neg_covered = engine.count_neg(&clause);
-            let precision = if covered.is_empty() {
-                0.0
-            } else {
-                covered.len() as f64 / (covered.len() + neg_covered) as f64
-            };
+            let precision = precision_of(covered_len, neg_covered);
 
-            let accept = covered.len() >= self.cfg.min.min_pos_covered
+            let accept = covered_len >= self.cfg.min.min_pos_covered
                 && precision >= self.cfg.min.min_precision;
             if !accept {
                 crate::instrument::CLAUSES_REJECTED.bump();
@@ -251,16 +249,14 @@ impl Learner {
                 uncovered.remove(0);
                 sink.on_event(&ProgressEvent::ClauseRejected {
                     iteration,
-                    covered_pos: covered.len(),
+                    covered_pos: covered_len,
                     covered_neg: neg_covered,
                     precision,
                 });
                 continue;
             }
 
-            let covered_len = covered.len();
-            let covered_set: relstore::FxHashSet<usize> = covered.into_iter().collect();
-            uncovered.retain(|i| !covered_set.contains(i));
+            uncovered.retain(|&i| !covered_mask.get(i));
             let mut clause = clause;
             if self.cfg.reduce_clauses {
                 clause = crate::generalize::reduce_clause(&clause, &engine);
@@ -315,6 +311,17 @@ impl Learner {
             .map(|i| def.clauses.iter().any(|c| engine.covers_neg(c, i)))
             .collect();
         (def, stats, pos_cov, neg_cov)
+    }
+}
+
+/// Training precision `p / (p + n)`, with the empty-coverage convention of
+/// 0.0. The single definition used by both the acceptance check and every
+/// reported precision, so the two can never drift apart on float rounding.
+fn precision_of(pos_covered: usize, neg_covered: usize) -> f64 {
+    if pos_covered == 0 {
+        0.0
+    } else {
+        pos_covered as f64 / (pos_covered + neg_covered) as f64
     }
 }
 

@@ -54,6 +54,7 @@
 
 pub mod bias;
 pub mod bottom;
+pub mod canon;
 pub mod clause;
 pub mod clause_text;
 pub mod coverage;
@@ -77,12 +78,15 @@ pub mod prelude {
     pub use crate::bottom::{
         build_bottom_clause, BcConfig, BottomClause, GroundClause, GroundLiteral, SamplingStrategy,
     };
+    pub use crate::canon::{canonical_form, canonical_key};
     pub use crate::clause::{Clause, Definition, Literal, Term, VarId};
     pub use crate::clause_text::{
         parse_clause, parse_clause_frozen, parse_definition, parse_definition_frozen,
         ClauseParseError,
     };
-    pub use crate::coverage::{worker_threads, CoverageEngine};
+    pub use crate::coverage::{
+        coverage_cache_enabled, worker_threads, Bitset, CoverageEngine, NegCount,
+    };
     pub use crate::eval::{cross_validate, evaluate_definition, kfold_splits, CvResult, Metrics};
     pub use crate::example::{parse_arg_tuple, Example, TrainingSet};
     pub use crate::generalize::{armg, learn_clause, reduce_clause, GenConfig};

@@ -61,6 +61,20 @@ impl Default for SubsumeConfig {
     }
 }
 
+impl SubsumeConfig {
+    /// A budget that never cuts off: the search runs to completion, so the
+    /// answer is the *exact* θ-subsumption relation (`Outcome::Cutoff` can
+    /// never occur). Exponential in the worst case — meant for test oracles
+    /// on small instances (see `tests/differential_coverage.rs`), not for
+    /// learning.
+    pub fn unbounded() -> Self {
+        Self {
+            node_limit: usize::MAX,
+            max_restarts: 0,
+        }
+    }
+}
+
 /// Whether `clause` θ-subsumes `ground` — i.e. whether the clause covers the
 /// ground BC's example (Definition 2.4 via the §5 reduction).
 pub fn theta_subsumes<R: Rng>(

@@ -1,0 +1,302 @@
+//! Differential test oracle for coverage testing: on randomly generated
+//! databases, θ-subsumption against a *full* (unsampled) depth-2 ground
+//! bottom clause with an unbounded search budget must agree with exact
+//! SPJ evaluation (`autobias::query::clause_covers`) on every example —
+//! the paper's §5 equivalence, checked as a property instead of on one
+//! hand-picked instance.
+//!
+//! The equivalence only holds for clauses *within the language bias*: every
+//! body literal must conform to a mode and introduce variables within the
+//! BC depth. The clause generator therefore chains literals mode-by-mode,
+//! tracking each variable's introduction depth, exactly the shape armg
+//! candidates have during learning.
+
+use autobias::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relstore::{Database, RelId};
+
+/// Schema: `r(a, b)` joined forward, `s(a, b)` joined either way, unary
+/// `u(a)`, and the target `t(a, b)`. Single type so everything can join.
+const BIAS_TEXT: &str = "
+pred r(T1, T1)
+pred s(T1, T1)
+pred u(T1)
+pred t(T1, T1)
+mode r(+, -)
+mode s(+, -)
+mode s(-, +)
+mode u(+)
+";
+
+struct World {
+    db: Database,
+    bias: LanguageBias,
+    examples: Vec<Example>,
+    clauses: Vec<Clause>,
+    seed: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Rels {
+    r: RelId,
+    s: RelId,
+    u: RelId,
+    t: RelId,
+}
+
+fn build_world(seed: u64, n_consts: usize, n_r: usize, n_s: usize) -> World {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let r = db.add_relation("r", &["a", "b"]);
+    let s = db.add_relation("s", &["a", "b"]);
+    let u = db.add_relation("u", &["a"]);
+    let t = db.add_relation("t", &["a", "b"]);
+    let rels = Rels { r, s, u, t };
+
+    let names: Vec<String> = (0..n_consts).map(|i| format!("c{i}")).collect();
+    // Intern every constant so examples can name it; the target relation's
+    // contents are never probed (no mode on `t`), so this is inert.
+    for name in &names {
+        db.insert(t, &[name, name]);
+    }
+    let pick = |rng: &mut StdRng| rng.random_range(0..n_consts);
+    for _ in 0..n_r {
+        let (a, b) = (pick(&mut rng), pick(&mut rng));
+        db.insert(r, &[&names[a], &names[b]]);
+    }
+    for _ in 0..n_s {
+        let (a, b) = (pick(&mut rng), pick(&mut rng));
+        db.insert(s, &[&names[a], &names[b]]);
+    }
+    for name in &names {
+        if rng.random_range(0..2u32) == 0 {
+            db.insert(u, &[name]);
+        }
+    }
+    db.build_indexes();
+
+    let consts: Vec<_> = names.iter().map(|n| db.lookup(n).unwrap()).collect();
+    let examples: Vec<Example> = (0..5)
+        .map(|_| {
+            let (a, b) = (rng.random_range(0..n_consts), rng.random_range(0..n_consts));
+            Example::new(t, vec![consts[a], consts[b]])
+        })
+        .collect();
+    let clauses: Vec<Clause> = (0..6).map(|_| random_clause(&mut rng, rels)).collect();
+    let bias = parse_bias(&db, t, BIAS_TEXT).unwrap();
+    World {
+        db,
+        bias,
+        examples,
+        clauses,
+        seed,
+    }
+}
+
+/// A random clause inside the depth-2 mode language: each literal's `+`
+/// argument is an existing variable of introduction depth ≤ 1 (so the tuples
+/// witnessing it are collected within two BC expansion rounds), and output
+/// positions either introduce a fresh variable or rejoin an existing one.
+fn random_clause(rng: &mut StdRng, rels: Rels) -> Clause {
+    // depth[v] = introduction depth of variable v; 0 and 1 are the head vars.
+    let mut depth: Vec<usize> = vec![0, 0];
+    let mut body = Vec::new();
+    for _ in 0..rng.random_range(0..=3usize) {
+        let eligible: Vec<u32> = (0..depth.len() as u32)
+            .filter(|&v| depth[v as usize] <= 1)
+            .collect();
+        let input = VarId(eligible[rng.random_range(0..eligible.len())]);
+        let out_depth = depth[input.0 as usize] + 1;
+        match rng.random_range(0..4u32) {
+            0 => {
+                let out = out_term(rng, &mut depth, out_depth);
+                body.push(Literal::new(rels.r, vec![Term::Var(input), out]));
+            }
+            1 => {
+                let out = out_term(rng, &mut depth, out_depth);
+                body.push(Literal::new(rels.s, vec![Term::Var(input), out]));
+            }
+            2 => {
+                let out = out_term(rng, &mut depth, out_depth);
+                body.push(Literal::new(rels.s, vec![out, Term::Var(input)]));
+            }
+            _ => body.push(Literal::new(rels.u, vec![Term::Var(input)])),
+        }
+    }
+    Clause::new(
+        Literal::new(rels.t, vec![Term::Var(VarId(0)), Term::Var(VarId(1))]),
+        body,
+    )
+}
+
+/// An output (`-`) position: half the time a fresh variable at `out_depth`,
+/// half the time a rejoin of any existing variable (output positions never
+/// feed BC probes, so rejoining even a depth-2 variable stays in-language).
+fn out_term(rng: &mut StdRng, depth: &mut Vec<usize>, out_depth: usize) -> Term {
+    if depth.len() > 2 && rng.random_range(0..2u32) == 0 {
+        Term::Var(VarId(rng.random_range(0..depth.len() as u32)))
+    } else {
+        let v = VarId(depth.len() as u32);
+        depth.push(out_depth);
+        Term::Var(v)
+    }
+}
+
+fn full_bc(world: &World, example: &Example, rng: &mut StdRng) -> GroundClause {
+    build_bottom_clause(
+        &world.db,
+        &world.bias,
+        example,
+        &BcConfig {
+            depth: 2,
+            strategy: SamplingStrategy::Full,
+            max_tuples: 1_000_000,
+            max_body_literals: 1_000_000,
+        },
+        rng,
+    )
+    .ground
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The core differential property: for every (clause, example) pair,
+    /// unbounded θ-subsumption against the full ground BC and exact SPJ
+    /// evaluation return the same answer.
+    #[test]
+    fn subsumption_against_full_bc_agrees_with_spj(
+        seed in 0u64..u64::MAX / 2,
+        n_consts in 4usize..9,
+        n_r in 0usize..14,
+        n_s in 0usize..14,
+    ) {
+        let world = build_world(seed, n_consts, n_r, n_s);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0bac_1e55);
+        let qcfg = QueryConfig::default();
+        let scfg = SubsumeConfig::unbounded();
+        for example in &world.examples {
+            let bc = full_bc(&world, example, &mut rng);
+            for clause in &world.clauses {
+                let by_subsumption = theta_subsumes(clause, &bc, &scfg, &mut rng);
+                let by_query = clause_covers(&world.db, clause, example, &qcfg);
+                prop_assert_eq!(
+                    by_subsumption,
+                    by_query,
+                    "seed {} disagrees on {} for {}",
+                    world.seed,
+                    example.render(&world.db),
+                    clause.render(&world.db)
+                );
+            }
+        }
+    }
+
+    /// Canonicalization preserves coverage: a clause and its canonical form
+    /// are α-equivalent up to body reordering, so both oracles must give the
+    /// canonical form the same answer as the original. This is the semantic
+    /// justification for the coverage memo keying on canonical forms.
+    #[test]
+    fn canonical_form_preserves_both_oracles(
+        seed in 0u64..u64::MAX / 2,
+        n_consts in 4usize..9,
+        n_r in 0usize..14,
+        n_s in 0usize..14,
+    ) {
+        let world = build_world(seed, n_consts, n_r, n_s);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xca90_11ca);
+        let qcfg = QueryConfig::default();
+        let scfg = SubsumeConfig::unbounded();
+        for example in &world.examples {
+            let bc = full_bc(&world, example, &mut rng);
+            for clause in &world.clauses {
+                let canon = canonical_form(clause);
+                prop_assert_eq!(
+                    theta_subsumes(clause, &bc, &scfg, &mut rng),
+                    theta_subsumes(&canon, &bc, &scfg, &mut rng),
+                    "seed {}: subsumption changed under canonicalization of {}",
+                    world.seed,
+                    clause.render(&world.db)
+                );
+                prop_assert_eq!(
+                    clause_covers(&world.db, clause, example, &qcfg),
+                    clause_covers(&world.db, &canon, example, &qcfg),
+                    "seed {}: SPJ answer changed under canonicalization of {}",
+                    world.seed,
+                    clause.render(&world.db)
+                );
+            }
+        }
+    }
+}
+
+/// Directed companion to the property: on a fixed world where coverage is
+/// known by construction, both oracles answer exactly as expected — guards
+/// against the property passing vacuously (e.g. everything uncovered).
+#[test]
+fn oracles_agree_on_known_world() {
+    let mut db = Database::new();
+    let r = db.add_relation("r", &["a", "b"]);
+    let s = db.add_relation("s", &["a", "b"]);
+    let u = db.add_relation("u", &["a"]);
+    let t = db.add_relation("t", &["a", "b"]);
+    db.insert(r, &["x", "m"]);
+    db.insert(s, &["m", "y"]);
+    db.insert(u, &["m"]);
+    db.insert(r, &["x2", "m2"]); // chain with no u(m2)
+    db.insert(s, &["m2", "y2"]);
+    db.build_indexes();
+    let bias = parse_bias(&db, t, BIAS_TEXT).unwrap();
+
+    let v = |n| Term::Var(VarId(n));
+    // t(a, b) ← r(a, z), s(z, b), u(z)
+    let clause = Clause::new(
+        Literal::new(t, vec![v(0), v(1)]),
+        vec![
+            Literal::new(r, vec![v(0), v(2)]),
+            Literal::new(s, vec![v(2), v(1)]),
+            Literal::new(u, vec![v(2)]),
+        ],
+    );
+    let x = db.lookup("x").unwrap();
+    let y = db.lookup("y").unwrap();
+    let x2 = db.lookup("x2").unwrap();
+    let y2 = db.lookup("y2").unwrap();
+    let cases = [
+        (Example::new(t, vec![x, y]), true),    // full chain with u
+        (Example::new(t, vec![x2, y2]), false), // chain but no u(m2)
+        (Example::new(t, vec![x, y2]), false),  // chains don't cross
+    ];
+    let mut rng = StdRng::seed_from_u64(7);
+    let scfg = SubsumeConfig::unbounded();
+    let qcfg = QueryConfig::default();
+    for (example, expected) in &cases {
+        let bc = build_bottom_clause(
+            &db,
+            &bias,
+            example,
+            &BcConfig {
+                depth: 2,
+                strategy: SamplingStrategy::Full,
+                max_tuples: 1_000_000,
+                max_body_literals: 1_000_000,
+            },
+            &mut rng,
+        )
+        .ground;
+        assert_eq!(
+            theta_subsumes(&clause, &bc, &scfg, &mut rng),
+            *expected,
+            "subsumption wrong on {}",
+            example.render(&db)
+        );
+        assert_eq!(
+            clause_covers(&db, &clause, example, &qcfg),
+            *expected,
+            "SPJ wrong on {}",
+            example.render(&db)
+        );
+    }
+}

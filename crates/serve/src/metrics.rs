@@ -332,6 +332,12 @@ mod tests {
         ));
         assert!(text.contains("autobias_models_loaded 3"));
         assert!(text.contains("autobias_core_subsumption_tests_total"));
+        // The coverage-cache counters ride the same registry: a scrape shows
+        // hit rate and cutoff savings without any serve-side wiring.
+        assert!(text.contains("autobias_core_coverage_cache_hits_total"));
+        assert!(text.contains("autobias_core_coverage_cache_misses_total"));
+        assert!(text.contains("autobias_core_neg_tests_skipped_total"));
+        assert!(text.contains("autobias_core_candidates_deduped_total"));
         assert!(text.contains("autobias_phase_duration_seconds"));
         assert!(text.contains("autobias_trace_dropped_events_total"));
     }
