@@ -1,0 +1,286 @@
+//! Bias-level rules (`AB0xx`): mode well-formedness, type-graph sanity, and
+//! reachability of the search space from the target relation.
+
+use crate::diag::{Anchor, Report, Rule};
+use autobias::bias::auto::ConstantThreshold;
+use autobias::bias::{ArgMode, LanguageBias, ModeDef};
+use constraints::{TypeGraph, TypeId};
+use relstore::{AttrRef, Database, FxHashMap, FxHashSet, RelId};
+
+fn rel_name(db: &Database, rel: RelId) -> String {
+    db.catalog().schema(rel).name.clone()
+}
+
+fn mode_location(db: &Database, m: &ModeDef) -> String {
+    let args: Vec<String> = m.args.iter().map(ToString::to_string).collect();
+    format!("mode {}({})", rel_name(db, m.rel), args.join(", "))
+}
+
+/// Runs every bias-level rule over `bias`.
+///
+/// `graph` enables the IND-cycle rule (AB011): pass the type graph computed
+/// from the *data* to cross-check a hand-written bias against discovered
+/// equivalences. `threshold` enables the constant-threshold rule (AB012).
+/// Both are optional because neither input exists at every boundary.
+pub fn check_bias(
+    db: &Database,
+    bias: &LanguageBias,
+    graph: Option<&TypeGraph>,
+    threshold: Option<ConstantThreshold>,
+) -> Report {
+    let mut sp = obs::span!("analyze.check");
+    crate::register();
+    crate::CHECKS_TOTAL.bump();
+    let mut report = Report::default();
+
+    // AB001: the target relation must be typed by some predicate definition.
+    if !bias.preds.iter().any(|p| p.rel == bias.target) {
+        report.push(
+            Rule::TargetUntyped,
+            Anchor::Whole,
+            format!("target {}", rel_name(db, bias.target)),
+            "no predicate definition types the target relation; head variables would have no types"
+                .to_string(),
+        );
+    }
+
+    // AB004 on predicate definitions.
+    for (i, p) in bias.preds.iter().enumerate() {
+        let expected = db.catalog().schema(p.rel).arity();
+        if p.types.len() != expected {
+            report.push(
+                Rule::ArityMismatch,
+                Anchor::Pred(i),
+                format!("pred {}/{}", rel_name(db, p.rel), p.types.len()),
+                format!(
+                    "predicate definition gives {} types but {} has arity {expected}",
+                    p.types.len(),
+                    rel_name(db, p.rel)
+                ),
+            );
+        }
+    }
+
+    // AB002, AB003, AB004, AB005 on mode definitions.
+    let mut seen_sigs: FxHashMap<(RelId, &[ArgMode]), usize> = FxHashMap::default();
+    for (i, m) in bias.modes.iter().enumerate() {
+        let expected = db.catalog().schema(m.rel).arity();
+        if m.rel == bias.target {
+            report.push(
+                Rule::ModeOnTarget,
+                Anchor::Mode(i),
+                mode_location(db, m),
+                format!(
+                    "mode on the target relation {} lets the learner define the target in terms of itself",
+                    rel_name(db, m.rel)
+                ),
+            );
+        }
+        if m.args.len() != expected {
+            report.push(
+                Rule::ArityMismatch,
+                Anchor::Mode(i),
+                mode_location(db, m),
+                format!(
+                    "mode gives {} annotations but {} has arity {expected}",
+                    m.args.len(),
+                    rel_name(db, m.rel)
+                ),
+            );
+        }
+        if m.plus_positions().next().is_none() {
+            report.push(
+                Rule::ModeWithoutPlus,
+                Anchor::Mode(i),
+                mode_location(db, m),
+                "a mode needs at least one `+` argument so literals connect to the clause"
+                    .to_string(),
+            );
+        }
+        if let Some(&first) = seen_sigs.get(&(m.rel, m.args.as_slice())) {
+            report.push(
+                Rule::DuplicateMode,
+                Anchor::Mode(i),
+                mode_location(db, m),
+                format!("duplicate of mode definition #{}", first + 1),
+            );
+        } else {
+            seen_sigs.insert((m.rel, m.args.as_slice()), i);
+        }
+    }
+
+    // AB006: a mode shadowed by a strictly more general one (`-` accepts
+    // everything `+` does; `#` positions must agree).
+    for (i, specific) in bias.modes.iter().enumerate() {
+        for (j, general) in bias.modes.iter().enumerate() {
+            if i == j || specific.rel != general.rel || specific.args == general.args {
+                continue;
+            }
+            if specific.args.len() == general.args.len()
+                && specific
+                    .args
+                    .iter()
+                    .zip(&general.args)
+                    .all(|(s, g)| s == g || (*g == ArgMode::Minus && *s == ArgMode::Plus))
+            {
+                report.push(
+                    Rule::ShadowedMode,
+                    Anchor::Mode(i),
+                    mode_location(db, specific),
+                    format!(
+                        "every literal this mode admits is already admitted by {}",
+                        mode_location(db, general)
+                    ),
+                );
+                break;
+            }
+        }
+    }
+
+    // AB007: untyped attributes of relations that can occur in clauses.
+    let mut rels: Vec<RelId> = bias.body_rels().collect();
+    rels.push(bias.target);
+    rels.sort_unstable();
+    rels.dedup();
+    for &rel in &rels {
+        let schema = db.catalog().schema(rel);
+        for pos in 0..schema.arity() {
+            let attr = AttrRef::new(rel, pos);
+            if bias.types_of(attr).is_empty() {
+                report.push(
+                    Rule::UntypedAttribute,
+                    Anchor::Whole,
+                    format!("{}[{}]", schema.name, schema.attrs[pos]),
+                    "attribute has no type in any predicate definition, so it can never share a variable"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    // AB008: mode-bearing relations unreachable from the target through the
+    // share-type join graph never contribute a literal to any clause.
+    let reachable = reachable_rels(db, bias, &rels);
+    for &rel in &rels {
+        if rel != bias.target && !reachable.contains(&rel) {
+            report.push(
+                Rule::UnreachableRelation,
+                Anchor::Whole,
+                rel_name(db, rel),
+                "relation has modes but no type chain connects it to the target; its literals can never join a clause"
+                    .to_string(),
+            );
+        }
+    }
+
+    // AB009: types assigned to exactly one attribute can never join.
+    let mut type_attrs: FxHashMap<TypeId, Vec<AttrRef>> = FxHashMap::default();
+    for &rel in &rels {
+        for pos in 0..db.catalog().schema(rel).arity() {
+            let attr = AttrRef::new(rel, pos);
+            for &t in bias.types_of(attr) {
+                type_attrs.entry(t).or_default().push(attr);
+            }
+        }
+    }
+    let mut dangling: Vec<(TypeId, AttrRef)> = type_attrs
+        .iter()
+        .filter(|(_, attrs)| attrs.len() == 1)
+        .map(|(&t, attrs)| (t, attrs[0]))
+        .collect();
+    dangling.sort_unstable_by_key(|&(t, _)| t);
+    for (t, attr) in dangling {
+        report.push(
+            Rule::DanglingType,
+            Anchor::Whole,
+            format!("{} on {}", t.label(), db.catalog().attr_name(attr)),
+            "type is assigned to a single attribute; variables of this type can never be shared"
+                .to_string(),
+        );
+    }
+
+    // AB011: IND cycles are type equivalences (Algorithm 3 merges them); a
+    // bias whose typing separates cycle members contradicts the data.
+    if let Some(graph) = graph {
+        for cycle in graph.cycles() {
+            for pair in cycle.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                if !bias.share_type(a, b) {
+                    report.push(
+                        Rule::IndCycleNotEquivalent,
+                        Anchor::Whole,
+                        format!(
+                            "{} ↔ {}",
+                            db.catalog().attr_name(a),
+                            db.catalog().attr_name(b)
+                        ),
+                        "attributes lie on an IND cycle (equal value sets) but share no type in the bias"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+    }
+
+    // AB012: `#` positions must satisfy the constant threshold, otherwise
+    // the search enumerates a near-key attribute as constants.
+    if let Some(threshold) = threshold {
+        let mut const_attrs: Vec<AttrRef> = bias
+            .modes
+            .iter()
+            .flat_map(|m| {
+                m.args.iter().enumerate().filter_map(move |(pos, a)| {
+                    (*a == ArgMode::Hash).then_some(AttrRef::new(m.rel, pos))
+                })
+            })
+            .collect();
+        const_attrs.sort_unstable();
+        const_attrs.dedup();
+        for attr in const_attrs {
+            let distinct = db.distinct(attr).len();
+            let tuples = db.relation(attr.rel).len();
+            if !threshold.allows(distinct, tuples) {
+                report.push(
+                    Rule::ConstantThresholdViolation,
+                    Anchor::Whole,
+                    db.catalog().attr_name(attr),
+                    format!(
+                        "attribute is marked `#` but has {distinct} distinct values over {tuples} tuples, above the constant threshold"
+                    ),
+                );
+            }
+        }
+    }
+
+    let report = report.finish();
+    if sp.is_active() {
+        sp.note("findings", report.findings.len() as u64);
+    }
+    report
+}
+
+/// Relations reachable from the target by chains of type-sharing attribute
+/// pairs (the joins the bias permits).
+fn reachable_rels(db: &Database, bias: &LanguageBias, rels: &[RelId]) -> FxHashSet<RelId> {
+    let mut reachable: FxHashSet<RelId> = FxHashSet::default();
+    reachable.insert(bias.target);
+    let mut frontier = vec![bias.target];
+    while let Some(from) = frontier.pop() {
+        let from_arity = db.catalog().schema(from).arity();
+        for &to in rels {
+            if reachable.contains(&to) {
+                continue;
+            }
+            let to_arity = db.catalog().schema(to).arity();
+            let joinable = (0..from_arity).any(|fp| {
+                (0..to_arity)
+                    .any(|tp| bias.share_type(AttrRef::new(from, fp), AttrRef::new(to, tp)))
+            });
+            if joinable {
+                reachable.insert(to);
+                frontier.push(to);
+            }
+        }
+    }
+    reachable
+}

@@ -1,0 +1,286 @@
+//! Clause-level rules (`AB1xx`): structural invariants of Horn theories
+//! (connectivity, range restriction), conformance to the induced bias
+//! (modes, types), and redundancy / satisfiability checks against the data.
+
+use crate::diag::{Anchor, Report, Rule};
+use autobias::bias::{ArgMode, LanguageBias};
+use autobias::canon::{canonical_form, canonical_key};
+use autobias::clause::{Clause, Definition, Literal, Term, VarId};
+use relstore::{AttrRef, Database, FxHashMap, FxHashSet};
+
+/// Display name for a constant, tolerating the ephemeral ids frozen parsing
+/// assigns to strings absent from the data (which `Database::const_name`
+/// would panic on).
+fn const_label(db: &Database, c: relstore::Const) -> String {
+    db.dict()
+        .try_name(c)
+        .unwrap_or("⟨unknown constant⟩")
+        .to_string()
+}
+
+/// Like [`Literal::render`] but safe on ephemeral constants.
+fn render_literal(db: &Database, lit: &Literal) -> String {
+    let args: Vec<String> = lit
+        .args
+        .iter()
+        .map(|t| match t {
+            Term::Var(v) => v.label(),
+            Term::Const(c) => const_label(db, *c),
+        })
+        .collect();
+    format!("{}({})", db.catalog().schema(lit.rel).name, args.join(", "))
+}
+
+/// Like [`Clause::render`] but safe on ephemeral constants.
+fn render_clause(db: &Database, clause: &Clause) -> String {
+    let body: Vec<String> = clause.body.iter().map(|l| render_literal(db, l)).collect();
+    format!("{} ← {}", render_literal(db, &clause.head), body.join(", "))
+}
+
+fn literal_location(db: &Database, ci: usize, li: usize, lit: &Literal) -> String {
+    format!(
+        "clause {}, literal {}: {}",
+        ci + 1,
+        li + 1,
+        render_literal(db, lit)
+    )
+}
+
+/// Runs every clause-level rule over `def`.
+///
+/// `bias` enables the mode- and type-conformance rules (AB104–AB107); the
+/// structural, redundancy, and satisfiability rules need only the database.
+/// Serve-side admission passes `None` (the server holds no bias), the
+/// learn boundary passes the bias the definition was learned under.
+pub fn check_definition(db: &Database, def: &Definition, bias: Option<&LanguageBias>) -> Report {
+    let mut sp = obs::span!("analyze.check");
+    crate::register();
+    crate::CHECKS_TOTAL.bump();
+    let mut report = Report::default();
+
+    for (ci, clause) in def.clauses.iter().enumerate() {
+        check_clause(db, ci, clause, bias, &mut report);
+    }
+
+    // AB109: α-equivalent clauses add no coverage (reuses `core::canon`).
+    let mut seen: FxHashMap<u64, Vec<(usize, Clause)>> = FxHashMap::default();
+    for (ci, clause) in def.clauses.iter().enumerate() {
+        let key = canonical_key(clause);
+        let canon = canonical_form(clause);
+        let bucket = seen.entry(key).or_default();
+        let dup_of = bucket.iter().find(|(_, c)| *c == canon).map(|(i, _)| *i);
+        if let Some(first) = dup_of {
+            report.push(
+                Rule::DuplicateClause,
+                Anchor::Clause(ci),
+                format!("clause {}: {}", ci + 1, render_clause(db, clause)),
+                format!("equal to clause {} up to variable renaming", first + 1),
+            );
+        } else {
+            bucket.push((ci, canon));
+        }
+    }
+
+    let report = report.finish();
+    if sp.is_active() {
+        sp.note("clauses", def.clauses.len() as u64);
+        sp.note("findings", report.findings.len() as u64);
+    }
+    report
+}
+
+fn check_clause(
+    db: &Database,
+    ci: usize,
+    clause: &Clause,
+    bias: Option<&LanguageBias>,
+    report: &mut Report,
+) {
+    // AB102: every body literal must connect to the head. The learner
+    // guarantees this (armg and clause reduction both re-prune), so a
+    // disconnected literal marks a hand-edited or corrupted theory.
+    let connected: FxHashSet<usize> = clause.head_connected_indices().into_iter().collect();
+    for (li, lit) in clause.body.iter().enumerate() {
+        if !connected.contains(&li) {
+            report.push(
+                Rule::DisconnectedLiteral,
+                Anchor::Clause(ci),
+                literal_location(db, ci, li, lit),
+                "literal shares no variable chain with the head; it only asserts non-emptiness"
+                    .to_string(),
+            );
+        }
+    }
+
+    // AB103: range restriction — head variables must be bound in the body.
+    let body_vars: FxHashSet<VarId> = clause.body.iter().flat_map(|l| l.vars()).collect();
+    for v in clause.head.vars() {
+        if !body_vars.contains(&v) {
+            report.push(
+                Rule::UnboundHeadVar,
+                Anchor::Clause(ci),
+                format!("clause {}: {}", ci + 1, render_literal(db, &clause.head)),
+                format!(
+                    "head variable {} never occurs in the body; the clause covers every value at that position",
+                    v.label()
+                ),
+            );
+        }
+    }
+
+    // AB108: verbatim duplicate literals.
+    let mut seen_lits: FxHashSet<&Literal> = FxHashSet::default();
+    for (li, lit) in clause.body.iter().enumerate() {
+        if !seen_lits.insert(lit) {
+            report.push(
+                Rule::RedundantLiteral,
+                Anchor::Clause(ci),
+                literal_location(db, ci, li, lit),
+                "literal is repeated verbatim; the duplicate constrains nothing".to_string(),
+            );
+        }
+    }
+
+    // AB110: provably unsatisfiable literals — an empty relation, or a
+    // constant outside the attribute's active domain, can never match.
+    // Warn, not Error: models may legitimately mention constants unknown to
+    // the resident data (the registry's ephemeral-constant support).
+    for (li, lit) in clause.body.iter().enumerate() {
+        if db.relation(lit.rel).is_empty() {
+            report.push(
+                Rule::UnsatisfiableLiteral,
+                Anchor::Clause(ci),
+                literal_location(db, ci, li, lit),
+                format!(
+                    "relation {} holds no tuples; the clause can never fire",
+                    db.catalog().schema(lit.rel).name
+                ),
+            );
+            continue;
+        }
+        for (pos, term) in lit.args.iter().enumerate() {
+            if let Term::Const(c) = term {
+                let attr = AttrRef::new(lit.rel, pos);
+                if !db.distinct(attr).contains(c) {
+                    report.push(
+                        Rule::UnsatisfiableLiteral,
+                        Anchor::Clause(ci),
+                        literal_location(db, ci, li, lit),
+                        format!(
+                            "constant {} never occurs in {}; the literal cannot match",
+                            const_label(db, *c),
+                            db.catalog().attr_name(attr)
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    let Some(bias) = bias else { return };
+
+    // AB104/AB105/AB106: well-modedness against the induced bias. Only the
+    // first two are learner invariants (bottom clauses draw literals from
+    // mode-bearing relations and place constants only at `#` positions;
+    // armg and reduction never add literals or constants). Full mode
+    // matching is order-independent and approximate — clause reduction can
+    // drop the literal that first bound a `+` variable — so a failed match
+    // is a Warn.
+    for (li, lit) in clause.body.iter().enumerate() {
+        let modes: Vec<_> = bias.modes_for(lit.rel).collect();
+        if modes.is_empty() {
+            let why = if lit.rel == bias.target {
+                "the target cannot appear in a body (no recursion)"
+            } else {
+                "no mode definition admits this relation in clause bodies"
+            };
+            report.push(
+                Rule::NoModeForRelation,
+                Anchor::Clause(ci),
+                literal_location(db, ci, li, lit),
+                why.to_string(),
+            );
+            continue;
+        }
+        for (pos, term) in lit.args.iter().enumerate() {
+            if matches!(term, Term::Const(_)) && !bias.can_be_const(AttrRef::new(lit.rel, pos)) {
+                report.push(
+                    Rule::ConstantPosition,
+                    Anchor::Clause(ci),
+                    literal_location(db, ci, li, lit),
+                    format!(
+                        "constant at {} but no mode marks that position `#`",
+                        db.catalog().attr_name(AttrRef::new(lit.rel, pos))
+                    ),
+                );
+            }
+        }
+        let bound = bound_elsewhere(clause, li);
+        let matched = modes.iter().any(|m| {
+            m.args.len() == lit.args.len()
+                && lit.args.iter().zip(&m.args).all(|(t, a)| match (t, a) {
+                    (Term::Const(_), ArgMode::Hash) => true,
+                    (Term::Var(v), ArgMode::Plus) => bound.contains(v),
+                    (Term::Var(_), ArgMode::Minus) => true,
+                    _ => false,
+                })
+        });
+        if !matched {
+            report.push(
+                Rule::IllModedLiteral,
+                Anchor::Clause(ci),
+                literal_location(db, ci, li, lit),
+                "no mode definition matches this literal's mix of bound variables and constants"
+                    .to_string(),
+            );
+        }
+    }
+
+    // AB107: a shared variable must join type-compatible attributes.
+    let mut var_attrs: FxHashMap<VarId, Vec<AttrRef>> = FxHashMap::default();
+    for lit in std::iter::once(&clause.head).chain(&clause.body) {
+        for (pos, term) in lit.args.iter().enumerate() {
+            if let Term::Var(v) = term {
+                let attr = AttrRef::new(lit.rel, pos);
+                let entry = var_attrs.entry(*v).or_default();
+                if !entry.contains(&attr) {
+                    entry.push(attr);
+                }
+            }
+        }
+    }
+    let mut vars: Vec<_> = var_attrs.into_iter().collect();
+    vars.sort_unstable_by_key(|&(v, _)| v);
+    for (v, attrs) in vars {
+        for i in 0..attrs.len() {
+            for j in i + 1..attrs.len() {
+                if !bias.share_type(attrs[i], attrs[j]) {
+                    report.push(
+                        Rule::TypeInconsistentJoin,
+                        Anchor::Clause(ci),
+                        format!(
+                            "clause {}: variable {} at {} and {}",
+                            ci + 1,
+                            v.label(),
+                            db.catalog().attr_name(attrs[i]),
+                            db.catalog().attr_name(attrs[j])
+                        ),
+                        "the joined attributes share no type in the bias".to_string(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Variables of `clause` that occur in the head or in a body literal other
+/// than `li` — the order-independent reading of "already bound" for `+`.
+fn bound_elsewhere(clause: &Clause, li: usize) -> FxHashSet<VarId> {
+    let mut bound: FxHashSet<VarId> = clause.head.vars().collect();
+    for (i, lit) in clause.body.iter().enumerate() {
+        if i != li {
+            bound.extend(lit.vars());
+        }
+    }
+    bound
+}

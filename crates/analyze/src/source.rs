@@ -1,0 +1,132 @@
+//! Source-level entry points: parse a textual artifact, run the structural
+//! checks, and attach 1-based line numbers to the findings so diagnostics
+//! point at the offending line of the file that was loaded.
+//!
+//! These are the functions the boundaries call: `autobias check` for both
+//! artifact kinds, serve-side admission (`/models/{name}` uploads and
+//! registry loads) for model text.
+
+use crate::diag::{Anchor, Diagnostic, Report, Rule};
+use autobias::bias::auto::ConstantThreshold;
+use autobias::bias::parse::{parse_bias, BiasParseError};
+use autobias::bias::LanguageBias;
+use autobias::clause_text::{parse_definition_frozen, ClauseParseError};
+use constraints::TypeGraph;
+use relstore::{Database, RelId};
+
+/// Checks a textual bias specification (the format of
+/// [`autobias::bias::parse`]). Parse failures become an `AB010` Error;
+/// otherwise every bias-level rule runs and mode/pred findings get the line
+/// number of their declaration.
+pub fn check_bias_source(
+    db: &Database,
+    target: RelId,
+    text: &str,
+    graph: Option<&TypeGraph>,
+    threshold: Option<ConstantThreshold>,
+) -> Report {
+    crate::register();
+    let bias = match parse_bias(db, target, text) {
+        Ok(bias) => bias,
+        Err(e) => {
+            let line = match &e {
+                BiasParseError::BadLine { line, .. }
+                | BiasParseError::UnknownRelation { line, .. }
+                | BiasParseError::BadModeArg { line, .. } => Some(*line),
+                BiasParseError::Invalid(_) => None,
+            };
+            return parse_failure(Rule::BiasParseError, line, e.to_string());
+        }
+    };
+    let mut report = crate::check_bias(db, &bias, graph, threshold);
+    let (pred_lines, mode_lines) = declaration_lines(text);
+    for d in &mut report.findings {
+        match d.anchor {
+            Anchor::Pred(i) => d.line = pred_lines.get(i).copied(),
+            Anchor::Mode(i) => d.line = mode_lines.get(i).copied(),
+            _ => {}
+        }
+    }
+    report
+}
+
+/// Checks model text (the format of [`autobias::clause_text`]). Parse
+/// failures become an `AB101` Error; otherwise every clause-level rule runs
+/// and clause findings get the line number of their clause. Parsing is
+/// frozen — the shared database is never written — so this is safe on the
+/// serving path.
+///
+/// Returns the report plus, on parse success, the parsed definition and its
+/// unknown-constant list so admission does not parse twice.
+pub fn check_model_source(
+    db: &Database,
+    text: &str,
+    bias: Option<&LanguageBias>,
+) -> (Report, Option<(autobias::clause::Definition, Vec<String>)>) {
+    crate::register();
+    let (def, unknown) = match parse_definition_frozen(db, text) {
+        Ok(pair) => pair,
+        Err(e) => {
+            let line = match &e {
+                ClauseParseError::Malformed { line, .. }
+                | ClauseParseError::UnknownRelation { line, .. }
+                | ClauseParseError::Arity { line, .. } => Some(*line),
+            };
+            return (
+                parse_failure(Rule::ModelParseError, line, e.to_string()),
+                None,
+            );
+        }
+    };
+    let mut report = crate::check_definition(db, &def, bias);
+    let clause_lines = significant_lines(text);
+    for d in &mut report.findings {
+        if let Anchor::Clause(i) = d.anchor {
+            d.line = clause_lines.get(i).copied();
+        }
+    }
+    (report, Some((def, unknown)))
+}
+
+fn parse_failure(rule: Rule, line: Option<usize>, message: String) -> Report {
+    crate::CHECKS_TOTAL.bump();
+    crate::FINDINGS_TOTAL.bump();
+    Report {
+        findings: vec![Diagnostic {
+            rule,
+            message,
+            location: line.map(|l| format!("line {l}")).unwrap_or_default(),
+            line,
+            anchor: Anchor::Whole,
+        }],
+    }
+}
+
+/// 1-based line numbers of `pred` and `mode` declarations, in declaration
+/// order — the order [`parse_bias`] assembles them in.
+fn declaration_lines(text: &str) -> (Vec<usize>, Vec<usize>) {
+    let mut preds = Vec::new();
+    let mut modes = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with("pred") {
+            preds.push(i + 1);
+        } else if line.starts_with("mode") {
+            modes.push(i + 1);
+        }
+    }
+    (preds, modes)
+}
+
+/// 1-based line numbers of non-blank, non-comment lines — one per parsed
+/// clause, matching [`parse_definition_frozen`]'s clause order.
+fn significant_lines(text: &str) -> Vec<usize> {
+    text.lines()
+        .enumerate()
+        .filter(|(_, raw)| {
+            let line = raw.trim();
+            !line.is_empty() && !line.starts_with('#')
+        })
+        .map(|(i, _)| i + 1)
+        .collect()
+}

@@ -1,0 +1,55 @@
+//! The severity-policy contract, tested end to end: every rule marked Error
+//! lints a property the learner *guarantees*, so learning on UW under any
+//! seed and bias must produce a definition with zero Error findings. (Warns
+//! are allowed — e.g. a reduced clause can fail the approximate mode match.)
+
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+#![cfg(not(miri))] // drives the full learner; far too slow under miri
+
+use autobias::bias::auto::{induce_bias, AutoBiasConfig};
+use autobias::example::TrainingSet;
+use autobias::learn::{Learner, LearnerConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn learned_definitions_have_zero_error_findings(
+        seed in 0u64..1000,
+        students in 6usize..14,
+        professors in 3usize..6,
+    ) {
+        let ds = datasets::uw::generate(
+            &datasets::uw::UwConfig {
+                students,
+                professors,
+                courses: 6,
+                advised_pairs: students / 2,
+                negatives: students,
+                evidence_prob: 0.9,
+                ..datasets::uw::UwConfig::default()
+            },
+            seed,
+        );
+        let (bias, _, _) = induce_bias(&ds.db, ds.target, &AutoBiasConfig::default()).unwrap();
+        let train = TrainingSet::new(ds.pos.clone(), ds.neg.clone());
+        let learner = Learner::new(LearnerConfig {
+            seed,
+            ..LearnerConfig::default()
+        });
+        let (def, _) = learner.learn(&ds.db, &bias, &train);
+
+        let report = analyze::check_definition(&ds.db, &def, Some(&bias));
+        prop_assert!(
+            !report.has_errors(),
+            "learned definition failed verification (seed {seed}):\n{}\n{}",
+            def.render(&ds.db),
+            report.render_text()
+        );
+
+        // The induced bias itself must also verify Error-free.
+        let bias_report = analyze::check_bias(&ds.db, &bias, None, None);
+        prop_assert!(!bias_report.has_errors(), "{}", bias_report.render_text());
+    }
+}

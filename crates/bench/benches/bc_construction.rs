@@ -2,6 +2,8 @@
 //! (paper §4 — the motivation for sampling is that full BC construction is
 //! linear in the database and too slow on large data).
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias::bottom::{build_bottom_clause, BcConfig, SamplingStrategy};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::uw::{generate, UwConfig};

@@ -2,6 +2,8 @@
 //! vs rebuilding the ground BC for every test, and sampled vs full ground
 //! BCs — the two design decisions §5 argues for.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias::bottom::{build_bottom_clause, BcConfig, SamplingStrategy};
 use autobias::coverage::CoverageEngine;
 use autobias::example::TrainingSet;

@@ -2,6 +2,8 @@
 //! ablation (binary search vs linear scan) and armg cost vs bottom-clause
 //! size.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias::bias::parse::parse_bias;
 use autobias::bottom::{BcConfig, SamplingStrategy};
 use autobias::coverage::CoverageEngine;

@@ -1,6 +1,8 @@
 //! Bench: Binder-style IND discovery vs data size, bucket count, and error
 //! threshold (paper §3.1 / §6.1's preprocessing step).
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use constraints::{discover_inds, IndConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::uw::{generate, UwConfig};

@@ -6,6 +6,8 @@
 //! `Mode::Full` so the three wall-clocks can be compared directly; they
 //! should agree within measurement noise.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias::example::TrainingSet;
 use autobias::learn::Learner;
 use autobias_bench::harness::{learner_config, HarnessConfig};

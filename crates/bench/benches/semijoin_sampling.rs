@@ -5,6 +5,8 @@
 //! instead of the whole semi-join result, which is the paper's argument for
 //! not materializing `I_e`.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::Rng;

@@ -1,6 +1,8 @@
 //! Bench: θ-subsumption cost vs clause length and ground-BC size, and the
 //! restart-budget ablation (paper §5 — coverage testing dominates learning).
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias::bottom::{GroundClause, GroundLiteral};
 use autobias::clause::{Clause, Literal, Term, VarId};
 use autobias::example::Example;

@@ -1,6 +1,8 @@
 //! Bench: Algorithm 3 (type-graph construction + propagation) vs schema
 //! width and IND density.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use constraints::{build_type_graph, Ind, IndConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use datasets::uw::{generate, UwConfig};

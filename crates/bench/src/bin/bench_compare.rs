@@ -11,6 +11,8 @@
 //! long"); CI runners are noisy, so keep them generous and treat this as a
 //! tripwire for order-of-magnitude regressions, not a microbenchmark.
 
+#![allow(clippy::unwrap_used)] // CLI/bench harness: fail fast
+
 use autobias_bench::compare::{compare, CompareConfig};
 use autobias_bench::harness::Args;
 use obs::json::Json;

@@ -13,6 +13,8 @@
 //! skipped negative tests, deduped candidates, ...) so `bench_compare` can
 //! gate on the caching machinery staying engaged, not just on wall-clock.
 
+#![allow(clippy::unwrap_used)] // bench harness: fail fast on bad JSON
+
 use autobias_bench::harness::{run_table5_cell, selected_datasets, Args, HarnessConfig, Method};
 use obs::chrome::json_escape;
 use std::fmt::Write as _;

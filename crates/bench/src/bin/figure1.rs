@@ -9,6 +9,8 @@
 //! cargo run -p autobias-bench --bin figure1 --release [--seed N]
 //! ```
 
+#![allow(clippy::unwrap_used)] // CLI/bench harness: fail fast
+
 use autobias::bias::auto::{induce_bias, AutoBiasConfig};
 use autobias_bench::harness::Args;
 use datasets::uw::{self, UwConfig};

@@ -10,6 +10,8 @@
 //! cargo run -p autobias-bench --bin ind_times --release [--dataset NAME]
 //! ```
 
+#![allow(clippy::unwrap_used)] // CLI/bench harness: fail fast
+
 use autobias_bench::harness::{fmt_duration, selected_datasets, Args};
 use constraints::{discover_inds, IndConfig};
 use std::time::Instant;

@@ -1,4 +1,6 @@
 //! Internal profiling helper: one fold of AutoBias on UW with stage timings.
+#![allow(clippy::unwrap_used)] // profiling harness: fail fast
+
 use autobias::bias::auto::{induce_bias, AutoBiasConfig, ConstantThreshold};
 use autobias::bottom::{build_bottom_clause, BcConfig, SamplingStrategy};
 use autobias::eval::kfold_splits;

@@ -1,4 +1,6 @@
 //! Quick end-to-end smoke run: one dataset, a couple of methods.
+#![allow(clippy::unwrap_used)] // CLI/bench harness: fail fast
+
 use autobias_bench::harness::{
     fmt_duration, run_table5_cell, selected_datasets, Args, HarnessConfig, Method,
 };

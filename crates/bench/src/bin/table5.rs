@@ -12,6 +12,8 @@
 //! Also prints the bias-size comparison from §6.2 (AutoBias generates ~30%
 //! more definitions than the expert on IMDb).
 
+#![allow(clippy::unwrap_used)] // CLI/bench harness: fail fast
+
 use autobias_bench::harness::{
     fmt_duration, run_table5_cell, selected_datasets, Args, HarnessConfig, Method,
 };

@@ -10,6 +10,8 @@
 //! The paper runs random and stratified 5 times and averages; `--repeats`
 //! controls that (default 3 to keep the default run quick).
 
+#![allow(clippy::unwrap_used)] // CLI/bench harness: fail fast
+
 use autobias::bottom::SamplingStrategy;
 use autobias_bench::harness::{
     fmt_duration, run_table6_cell, selected_datasets, Args, HarnessConfig,

@@ -13,6 +13,7 @@
 //!
 //! Criterion microbenches live in `benches/`.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod compare;

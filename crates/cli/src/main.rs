@@ -43,23 +43,24 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let result = match cmd.as_str() {
-        "gen" => cmd_gen(&args),
-        "stats" => cmd_stats(&args),
-        "inds" => cmd_inds(&args),
-        "induce" => cmd_induce(&args),
-        "learn" => cmd_learn(&args),
-        "eval" => cmd_eval(&args),
-        "predict" => cmd_predict(&args),
-        "serve" => cmd_serve(&args),
-        "jobs" => cmd_jobs(&args),
+        "gen" => cmd_gen(&args).map(done),
+        "stats" => cmd_stats(&args).map(done),
+        "inds" => cmd_inds(&args).map(done),
+        "induce" => cmd_induce(&args).map(done),
+        "learn" => cmd_learn(&args).map(done),
+        "eval" => cmd_eval(&args).map(done),
+        "predict" => cmd_predict(&args).map(done),
+        "check" => cmd_check(&args),
+        "serve" => cmd_serve(&args).map(done),
+        "jobs" => cmd_jobs(&args).map(done),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             if e.contains("missing --") {
@@ -68,6 +69,11 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// Maps a unit-returning command onto the success exit code.
+fn done((): ()) -> ExitCode {
+    ExitCode::SUCCESS
 }
 
 const USAGE: &str = "\
@@ -84,11 +90,16 @@ USAGE:
                    [--trace-out FILE] [--profile] [--report-out FILE]
   autobias eval    --data DIR --model FILE
   autobias predict --data DIR --model FILE --args \"v1,v2\"
+  autobias check   --data DIR (--bias FILE | --model FILE [--bias auto|manual|FILE])
+                   [--format text|json]
   autobias serve   --data DIR --models DIR [--addr HOST:PORT] [--threads N]
                    [--log-level error|warn|info|debug]
   autobias jobs    watch ID [--addr HOST:PORT]
 
 Every command accepts --log-level error|warn|info|debug (or set AUTOBIAS_LOG).
+check: static verification (lints AB0xx/AB1xx); exits non-zero on Error
+       findings. --bias alone lints a bias file against the data's type
+       graph; --model lints a learned theory (add --bias for mode checks).
 learn: --trace-out writes a chrome-trace JSON (open in ui.perfetto.dev);
        --profile prints per-phase wall-clock and counter tables to stderr;
        --report-out writes a structured JSON run report (schema v1).
@@ -301,6 +312,20 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
             (def, stats, None)
         }
     };
+    // Post-learn verification (observational: stderr only, never alters the
+    // model output — AUTOBIAS_VERIFY=0 must be byte-identical).
+    if analyze::enabled() {
+        let verdict = analyze::check_definition(&ds.db, &def, Some(&bias));
+        if !verdict.is_clean() {
+            eprint!("{}", verdict.render_text());
+        }
+        if verdict.has_errors() {
+            return Err(format!(
+                "learned definition failed static verification: {}",
+                verdict.summary()
+            ));
+        }
+    }
     let text = def.render(&ds.db);
     match args.get_str("--out") {
         Some(path) => {
@@ -335,6 +360,54 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// `autobias check`: static verification of a bias or model file against a
+/// dataset. Prints the diagnostics (text or JSON) and exits non-zero when
+/// any Error-severity finding fires, so CI can gate on model artifacts.
+fn cmd_check(args: &Args) -> Result<ExitCode, String> {
+    let format = args.get_str("--format").unwrap_or("text");
+    if !matches!(format, "text" | "json") {
+        return Err(format!("unknown format {format:?} (text|json)"));
+    }
+    let ds = load(args)?;
+    let report = match (args.get_str("--model"), args.get_str("--bias")) {
+        (Some(path), bias_arg) => {
+            // Mode/type conformance only runs when a bias is supplied; the
+            // structural rules always do.
+            let bias = match bias_arg {
+                Some(_) => Some(pick_bias(args, &ds)?),
+                None => None,
+            };
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let (report, _) = analyze::check_model_source(&ds.db, &text, bias.as_ref());
+            report
+        }
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            // The data's own type graph cross-checks the file's typing
+            // (lint AB011), and the constant threshold bounds `#` modes.
+            let inds = constraints::discover_inds(&ds.db, &constraints::IndConfig::default());
+            let graph = constraints::build_type_graph(&ds.db, &inds);
+            analyze::check_bias_source(
+                &ds.db,
+                ds.target,
+                &text,
+                Some(&graph),
+                Some(threshold(args)),
+            )
+        }
+        (None, None) => return Err("missing --bias FILE or --model FILE".to_string()),
+    };
+    match format {
+        "json" => println!("{}", report.to_json()),
+        _ => print!("{}", report.render_text()),
+    }
+    Ok(if report.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    })
 }
 
 fn load_model(args: &Args, ds: &mut Dataset) -> Result<autobias::clause::Definition, String> {

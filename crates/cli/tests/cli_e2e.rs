@@ -1,6 +1,8 @@
 //! End-to-end test of the `autobias` binary: generate → inspect INDs →
 //! induce bias → learn → evaluate → predict, all through the real CLI.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use std::path::PathBuf;
 use std::process::Command;
 

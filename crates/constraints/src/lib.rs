@@ -18,6 +18,7 @@
 //! assert!(graph.num_types >= 3); // student, professor, title domains, ...
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod ind;

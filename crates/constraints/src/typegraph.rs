@@ -70,6 +70,34 @@ impl TypeGraph {
         ta.iter().any(|t| tb.contains(t))
     }
 
+    /// IND cycles of the graph: strongly-connected components with two or
+    /// more attributes. Algorithm 3 assigns every member of a cycle one
+    /// shared type, so a cycle whose members do *not* share a type in some
+    /// bias marks that bias as contradicting the data (lint AB011).
+    /// Deterministic: components are sorted by their smallest attribute.
+    pub fn cycles(&self) -> Vec<Vec<AttrRef>> {
+        let mut attrs: Vec<AttrRef> = self.edges.iter().flat_map(|e| [e.from, e.to]).collect();
+        attrs.sort_unstable();
+        attrs.dedup();
+        let idx_of: FxHashMap<AttrRef, usize> =
+            attrs.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let mut out_edges: Vec<Vec<(usize, f64)>> = vec![Vec::new(); attrs.len()];
+        for e in &self.edges {
+            out_edges[idx_of[&e.from]].push((idx_of[&e.to], e.error));
+        }
+        let mut cycles: Vec<Vec<AttrRef>> = tarjan_scc(attrs.len(), &out_edges)
+            .into_iter()
+            .filter(|comp| comp.len() >= 2)
+            .map(|comp| {
+                let mut members: Vec<AttrRef> = comp.into_iter().map(|v| attrs[v]).collect();
+                members.sort_unstable();
+                members
+            })
+            .collect();
+        cycles.sort_unstable_by_key(|c| c[0]);
+        cycles
+    }
+
     /// Renders the graph for display: one line per edge, then per-attribute
     /// type sets, with catalog names.
     pub fn render(&self, db: &Database) -> String {
@@ -471,6 +499,25 @@ mod tests {
         // ...but a does inherit b's own type? b is not a sink and not a cycle,
         // so b's only types come from c; a therefore gets a fresh type.
         assert!(!g.types_of(a).is_empty());
+    }
+
+    #[test]
+    fn cycles_reports_equal_value_sets() {
+        let mut db = Database::new();
+        let r = db.add_relation("r", &["a"]);
+        let s = db.add_relation("s", &["b"]);
+        for v in ["x", "y", "z"] {
+            db.insert(r, &[v]);
+            db.insert(s, &[v]);
+        }
+        let inds = discover_inds(&db, &IndConfig::default());
+        let g = build_type_graph(&db, &inds);
+        let cycles = g.cycles();
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0], vec![AttrRef::new(r, 0), AttrRef::new(s, 0)]);
+        // An acyclic graph has no cycles.
+        let g = build_type_graph(&uw_figure1_db(), &[]);
+        assert!(g.cycles().is_empty());
     }
 
     #[test]

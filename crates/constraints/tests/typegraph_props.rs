@@ -1,6 +1,9 @@
 //! Property-based tests for the type graph (Algorithm 3) over random IND
 //! sets: structural invariants that must hold regardless of input.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+#![cfg(not(miri))] // proptest-heavy: hundreds of cases, far too slow under miri
+
 use constraints::{build_type_graph, Ind};
 use proptest::prelude::*;
 use relstore::{AttrRef, Database, RelId};

@@ -221,6 +221,14 @@ pub(crate) fn generate_modes(rel: RelId, constable: &[bool], max_set: usize) -> 
             }
         }
     }
+    // Lint AB005 (duplicate mode) fires on any regression of the dedup
+    // above; AB003 (mode without `+`) would fire if a subset ever swallowed
+    // every position.
+    debug_assert_eq!(seen.len(), out.len(), "duplicate mode signatures generated");
+    debug_assert!(
+        out.iter().all(|m| m.args.contains(&ArgMode::Plus)),
+        "generated a mode without a `+` argument"
+    );
     out
 }
 
@@ -267,6 +275,33 @@ mod tests {
         assert!(sigs.contains(&"-+".to_string()));
         assert!(sigs.contains(&"+#".to_string()));
         assert_eq!(modes.len(), 3);
+    }
+
+    #[test]
+    fn generate_modes_signatures_are_unique() {
+        // Across arities, constable patterns, and subset caps, no two
+        // generated modes may share a signature and each must keep a `+`
+        // (lint AB005 / AB003 fire on any regression).
+        for arity in 1..=4usize {
+            for mask in 0..(1u32 << arity) {
+                let constable: Vec<bool> = (0..arity).map(|i| mask & (1 << i) != 0).collect();
+                for max_set in 0..=arity {
+                    let modes = generate_modes(RelId(7), &constable, max_set);
+                    let mut sigs = std::collections::HashSet::new();
+                    for m in &modes {
+                        assert!(
+                            sigs.insert(m.args.clone()),
+                            "duplicate mode {:?} (arity {arity}, mask {mask:b}, max_set {max_set})",
+                            m.args
+                        );
+                        assert!(
+                            m.args.contains(&ArgMode::Plus),
+                            "mode without + (arity {arity}, mask {mask:b})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

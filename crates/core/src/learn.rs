@@ -262,6 +262,24 @@ impl Learner {
                 clause = crate::generalize::reduce_clause(&clause, &engine);
             }
             clause.canonicalize_vars();
+            // Invariants the static verifier (crates/analyze) treats as
+            // Error-level for learned theories: every accepted clause is
+            // head-connected (AB102; armg and reduction both re-prune) and
+            // draws its literals from mode-bearing relations (AB104).
+            debug_assert_eq!(
+                clause.head_connected_indices().len(),
+                clause.body.len(),
+                "accepted clause has a disconnected literal: {}",
+                clause.render(db)
+            );
+            debug_assert!(
+                clause
+                    .body
+                    .iter()
+                    .all(|l| bias.modes_for(l.rel).next().is_some()),
+                "accepted clause uses a relation without modes: {}",
+                clause.render(db)
+            );
             crate::instrument::CLAUSES_ACCEPTED.bump();
             sink.on_event(&ProgressEvent::ClauseAccepted {
                 iteration,

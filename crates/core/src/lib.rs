@@ -50,6 +50,7 @@
 //! assert!(!definition.is_empty());
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod bias;

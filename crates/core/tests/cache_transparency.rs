@@ -9,6 +9,9 @@
 //! own integration-test binary (own process) and serialize on [`ENV_LOCK`]
 //! against the test harness's thread pool.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+#![cfg(not(miri))] // proptest-heavy: hundreds of cases, far too slow under miri
+
 use autobias::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;

@@ -11,6 +11,9 @@
 //! tracking each variable's introduction depth, exactly the shape armg
 //! candidates have during learning.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+#![cfg(not(miri))] // proptest-heavy: hundreds of cases, far too slow under miri
+
 use autobias::prelude::*;
 use proptest::prelude::*;
 use rand::rngs::StdRng;

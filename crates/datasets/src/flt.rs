@@ -140,8 +140,8 @@ pub fn generate(cfg: &FltConfig, seed: u64) -> Dataset {
         if f1 == f2 || !is_truth(f1, f2) || !pos_keys.insert((f1, f2)) {
             continue;
         }
-        let c1 = db.lookup(&format!("f{f1}")).unwrap();
-        let c2 = db.lookup(&format!("f{f2}")).unwrap();
+        let c1 = db.lookup(&format!("f{f1}")).expect("flight interned above");
+        let c2 = db.lookup(&format!("f{f2}")).expect("flight interned above");
         pos.push(Example::new(target, vec![c1, c2]));
     }
 
@@ -149,7 +149,7 @@ pub fn generate(cfg: &FltConfig, seed: u64) -> Dataset {
     // destination, so the learned rule must include the region constraint —
     // and half are random pairs violating the rule.
     let fid_consts: Vec<Const> = (0..cfg.flights)
-        .map(|fi| db.lookup(&format!("f{fi}")).unwrap())
+        .map(|fi| db.lookup(&format!("f{fi}")).expect("flight interned above"))
         .collect();
     let truth_consts: FxHashSet<Vec<Const>> = pos_keys
         .iter()

@@ -187,7 +187,7 @@ pub fn generate(cfg: &HivConfig, seed: u64) -> Dataset {
             }
         }
 
-        let cid = db.lookup(&cname).unwrap();
+        let cid = db.lookup(&cname).expect("compound interned above");
         if is_active {
             active_ids.push(cid);
         } else {

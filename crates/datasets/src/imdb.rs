@@ -173,11 +173,17 @@ pub fn generate(cfg: &ImdbConfig, seed: u64) -> Dataset {
 
     let drama_ids: Vec<Const> = (0..cfg.directors)
         .filter(|&di| is_drama_director[di])
-        .map(|di| db.lookup(&format!("d{di}")).unwrap())
+        .map(|di| {
+            db.lookup(&format!("d{di}"))
+                .expect("director interned above")
+        })
         .collect();
     let non_drama_ids: Vec<Const> = (0..cfg.directors)
         .filter(|&di| !is_drama_director[di])
-        .map(|di| db.lookup(&format!("d{di}")).unwrap())
+        .map(|di| {
+            db.lookup(&format!("d{di}"))
+                .expect("director interned above")
+        })
         .collect();
 
     let mut pos: Vec<Example> = drama_ids

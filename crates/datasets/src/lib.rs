@@ -20,6 +20,7 @@
 //! relation, so automatic bias induction can type the head attributes from
 //! INDs.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod flt;

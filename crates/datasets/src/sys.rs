@@ -91,9 +91,9 @@ pub fn generate(cfg: &SysConfig, seed: u64) -> Dataset {
             // Plant the signature: exec from tmp + write to sys.
             db.insert(access, &[&p, &format!("payload{pi}"), "exec", "tmp"]);
             db.insert(access, &[&p, &format!("regfile{pi}"), "write", "sys"]);
-            mal_ids.push(db.lookup(&p).unwrap());
+            mal_ids.push(db.lookup(&p).expect("process interned above"));
         } else {
-            benign_ids.push(db.lookup(&p).unwrap());
+            benign_ids.push(db.lookup(&p).expect("process interned above"));
         }
     }
 

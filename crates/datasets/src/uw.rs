@@ -112,14 +112,14 @@ pub fn generate(cfg: &UwConfig, seed: u64) -> Dataset {
         .map(|i| {
             let name = format!("s{i}");
             db.insert(student, &[&name]);
-            db.lookup(&name).unwrap()
+            db.lookup(&name).expect("entity interned above")
         })
         .collect();
     let profs: Vec<Const> = (0..cfg.professors)
         .map(|i| {
             let name = format!("prof{i}");
             db.insert(professor, &[&name]);
-            db.lookup(&name).unwrap()
+            db.lookup(&name).expect("entity interned above")
         })
         .collect();
     let courses: Vec<String> = (0..cfg.courses).map(|i| format!("course{i}")).collect();

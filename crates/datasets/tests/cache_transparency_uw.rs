@@ -10,6 +10,8 @@
 //! Env-mutating, so it gets its own integration-test binary (own process)
 //! and serializes on a lock.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias::prelude::*;
 use datasets::uw::{self, UwConfig};
 use std::sync::Mutex;

@@ -1,6 +1,9 @@
 //! Property-based tests over the dataset generators: invariants that must
 //! hold for any seed and any (small) scale.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+#![cfg(not(miri))] // proptest-heavy: hundreds of cases, far too slow under miri
+
 use datasets::{flt, hiv, imdb, sys, uw};
 use proptest::prelude::*;
 use relstore::FxHashSet;

@@ -12,6 +12,7 @@
 //! are built once per example and candidate clauses are checked by
 //! θ-subsumption.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 use autobias::bias::{ArgMode, LanguageBias, ModeDef};

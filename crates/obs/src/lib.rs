@@ -55,6 +55,7 @@
 //! | `learn.clause_search` | one beam search (`LearnClause`)              |
 //! | `coverage.theta`      | θ-subsumption coverage batch                 |
 //! | `coverage.spj`        | direct SPJ evaluation of a definition        |
+//! | `analyze.check`       | one static-verifier pass (bias or theory)    |
 //!
 //! ## Overhead budget
 //!
@@ -66,6 +67,7 @@
 //! The `obs_overhead` bench in `crates/bench` compares a full learning run
 //! under all three modes.
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod chrome;

@@ -82,8 +82,9 @@ fn split_line(line: &str, line_no: usize) -> Result<Vec<String>, CsvError> {
                 chars.next();
                 fields.push(std::mem::take(&mut cur));
             }
-            Some(_) => {
-                cur.push(chars.next().unwrap());
+            Some(&c) => {
+                chars.next();
+                cur.push(c);
             }
             None => {
                 fields.push(cur);

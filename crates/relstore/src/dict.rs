@@ -67,6 +67,13 @@ impl Dictionary {
         &self.names[c.index()]
     }
 
+    /// Returns the string for `c`, or `None` if `c` was not produced by this
+    /// dictionary — notably the ephemeral ids a [`ConstResolver`] hands out
+    /// for strings absent from the data.
+    pub fn try_name(&self, c: Const) -> Option<&str> {
+        self.names.get(c.index()).map(AsRef::as_ref)
+    }
+
     /// Number of interned constants.
     pub fn len(&self) -> usize {
         self.names.len()

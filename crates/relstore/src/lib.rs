@@ -22,6 +22,7 @@
 //! assert_eq!(db.distinct(AttrRef::new(publ, 0)).len(), 1);
 //! ```
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod algebra;

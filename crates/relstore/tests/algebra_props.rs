@@ -1,6 +1,9 @@
 //! Property-based tests for the relstore algebra: indexed operations must
 //! agree with naive scans on random databases.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+#![cfg(not(miri))] // proptest-heavy: hundreds of cases, far too slow under miri
+
 use proptest::prelude::*;
 use relstore::{algebra, AttrRef, Const, Database, FxHashSet};
 

@@ -122,9 +122,21 @@ pub fn write_response(
     reason: &str,
     body: &str,
 ) -> io::Result<()> {
+    write_response_typed(stream, status, reason, "text/plain; charset=utf-8", body)
+}
+
+/// Writes one response with an explicit content type and flushes — the
+/// JSON-producing routes (model upload diagnostics) use this.
+pub fn write_response_typed(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
     let head = format!(
         "HTTP/1.1 {status} {reason}\r\n\
-         Content-Type: text/plain; charset=utf-8\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\
          \r\n",

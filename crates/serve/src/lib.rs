@@ -27,6 +27,7 @@
 //!   ([`events`]), plus an archived JSON run report in a bounded on-disk
 //!   ledger served by `GET /runs/{id}` ([`ledger`]).
 
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 pub mod events;

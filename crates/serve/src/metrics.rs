@@ -22,6 +22,13 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+/// Model artifacts rejected by the static verifier — uploads answered 422
+/// and registry loads skipped for Error-severity findings.
+pub static MODEL_REJECTIONS: obs::metrics::Counter = obs::metrics::Counter::new(
+    "autobias_model_rejections_total",
+    "Models rejected by the static verifier at upload or load time.",
+);
+
 /// The endpoints we track. `Other` buckets everything unrecognized so the
 /// label set stays bounded no matter what clients send.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -289,10 +296,13 @@ fn render_phase_histograms(out: &mut String) {
 }
 
 /// Renders every counter in the [`obs::metrics`] registry. The core
-/// learner's counters are registered via `autobias::instrument::register`,
-/// so a scrape sees them even before the first learning job runs.
+/// learner's counters are registered via `autobias::instrument::register`
+/// and the verifier's via `analyze::register`, so a scrape sees them even
+/// before the first learning job or upload.
 fn render_registered_counters(out: &mut String) {
     autobias::instrument::register();
+    analyze::register();
+    obs::metrics::register(&MODEL_REJECTIONS);
     for c in obs::metrics::registered() {
         out.push_str(&format!(
             "# HELP {} {}\n# TYPE {} counter\n{} {}\n",

@@ -105,6 +105,17 @@ impl ModelRegistry {
             };
             match parse_definition_frozen(db, &text) {
                 Ok((definition, unknown_constants)) => {
+                    // Same admission bar as `POST /models/{name}`: a model
+                    // with Error-severity lint findings (disconnected
+                    // literals, unbound head variables) does not load.
+                    if analyze::enabled() {
+                        let verdict = analyze::check_definition(db, &definition, None);
+                        if verdict.has_errors() {
+                            crate::metrics::MODEL_REJECTIONS.bump();
+                            report.errors.push((fname, verdict.summary()));
+                            continue;
+                        }
+                    }
                     next.insert(
                         stem.to_string(),
                         Arc::new(ModelEntry {

@@ -11,8 +11,8 @@
 //! connections finish, job threads are cancelled and joined.
 
 use crate::http::{
-    finish_chunked, read_request, write_chunk, write_response, write_stream_head, HttpError,
-    Request,
+    finish_chunked, read_request, write_chunk, write_response, write_response_typed,
+    write_stream_head, HttpError, Request,
 };
 use crate::jobs::{JobManager, JobSpec};
 use crate::ledger::RunLedger;
@@ -171,9 +171,33 @@ fn handle_connection(state: &Arc<AppState>, mut conn: TcpStream) {
     if req.method == "GET" && req.path.starts_with("/jobs/") && req.path.ends_with("/events") {
         return handle_events_stream(state, &mut conn, &req, t0);
     }
-    let (endpoint, status, reason, body) = route(state, &req);
-    state.metrics.observe(endpoint, t0.elapsed(), status >= 400);
-    let _ = write_response(&mut conn, status, reason, &body);
+    let r = route(state, &req);
+    state
+        .metrics
+        .observe(r.endpoint, t0.elapsed(), r.status >= 400);
+    let _ = write_response_typed(&mut conn, r.status, r.reason, r.content_type, &r.body);
+}
+
+/// A routed response. Most routes speak `text/plain`; the model-upload
+/// admission path returns its diagnostics as JSON.
+struct Routed {
+    endpoint: Endpoint,
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Routed {
+    fn json(endpoint: Endpoint, status: u16, reason: &'static str, body: String) -> Self {
+        Self {
+            endpoint,
+            status,
+            reason,
+            content_type: "application/json",
+            body,
+        }
+    }
 }
 
 /// `GET /jobs/{id}/events`: replays the job's event log as an SSE stream
@@ -247,6 +271,7 @@ endpoints:
   GET  /metrics            Prometheus text metrics
   GET  /models             list loaded models
   POST /models             reload models from the models directory
+  POST /models/{name}      upload a model (verified; 422 + JSON diagnostics on Error findings)
   POST /predict            body: `model NAME` then one CSV tuple per line
   POST /jobs/learn         start a background learning job (key value lines)
   GET  /jobs               list jobs
@@ -258,7 +283,109 @@ endpoints:
   POST /shutdown           drain and stop
 ";
 
-fn route(state: &Arc<AppState>, req: &Request) -> (Endpoint, u16, &'static str, String) {
+fn route(state: &Arc<AppState>, req: &Request) -> Routed {
+    // `PUT`/`POST /models/{name}`: verified model upload, the one
+    // JSON-speaking route. `POST /models` (no name) stays the reload below.
+    if matches!(req.method.as_str(), "POST" | "PUT") {
+        if let Some(name) = req.path.strip_prefix("/models/") {
+            return handle_model_upload(state, name, &req.body);
+        }
+    }
+    let (endpoint, status, reason, body) = route_text(state, req);
+    Routed {
+        endpoint,
+        status,
+        reason,
+        content_type: "text/plain; charset=utf-8",
+        body,
+    }
+}
+
+/// `POST /models/{name}`: admission-checked model upload. The body is model
+/// text; it must parse and pass the static verifier with zero Error
+/// findings, otherwise the upload is rejected with 422 and the JSON
+/// diagnostics payload (and `autobias_model_rejections_total` bumps).
+/// Accepted models are persisted to the models directory and inserted into
+/// the registry copy-on-write, so in-flight predictions are unaffected.
+fn handle_model_upload(state: &Arc<AppState>, name: &str, body: &str) -> Routed {
+    if name.is_empty()
+        || name.len() > 64
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        return Routed::json(
+            Endpoint::Models,
+            400,
+            "Bad Request",
+            format!(
+                "{{\"error\": \"model name must be 1-64 chars of [A-Za-z0-9_-], got {:?}\"}}\n",
+                name
+            ),
+        );
+    }
+    let (report, parsed) = analyze::check_model_source(&state.ds.db, body, None);
+    let rejected = if analyze::enabled() {
+        report.has_errors()
+    } else {
+        parsed.is_none() // parse failures reject even with the verifier off
+    };
+    if rejected {
+        crate::metrics::MODEL_REJECTIONS.bump();
+        return Routed::json(
+            Endpoint::Models,
+            422,
+            "Unprocessable Entity",
+            format!("{}\n", report.to_json()),
+        );
+    }
+    let Some((definition, unknown_constants)) = parsed else {
+        // Verifier off and unparsable was handled above; this is the
+        // verifier-on, parse-ok path only.
+        unreachable!("parse success required for admission");
+    };
+    if definition.clauses.is_empty() {
+        return Routed::json(
+            Endpoint::Models,
+            400,
+            "Bad Request",
+            "{\"error\": \"model has no clauses\"}\n".to_string(),
+        );
+    }
+    let path = state.registry.dir().join(format!("{name}.model"));
+    let text = if body.ends_with('\n') {
+        body.to_string()
+    } else {
+        format!("{body}\n")
+    };
+    if let Err(e) = std::fs::write(&path, &text) {
+        return Routed::json(
+            Endpoint::Models,
+            500,
+            "Internal Server Error",
+            format!("{{\"error\": \"persisting model: {e}\"}}\n"),
+        );
+    }
+    let clauses = definition.clauses.len();
+    state.registry.insert(crate::registry::ModelEntry {
+        name: name.to_string(),
+        definition,
+        unknown_constants,
+        source: Some(path),
+    });
+    obs::info!("model {name} uploaded ({clauses} clause(s))");
+    Routed::json(
+        Endpoint::Models,
+        201,
+        "Created",
+        format!(
+            "{{\"name\": \"{name}\", \"clauses\": {clauses}, \"diagnostics\": {}}}\n",
+            report.to_json()
+        ),
+    )
+}
+
+fn route_text(state: &Arc<AppState>, req: &Request) -> (Endpoint, u16, &'static str, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (Endpoint::Healthz, 200, "OK", "ok\n".to_string()),
         ("GET", "/metrics") => {

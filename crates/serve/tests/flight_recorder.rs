@@ -4,6 +4,8 @@
 //! archived run report from `GET /runs/{id}`, and verify that a client
 //! hanging up mid-stream is counted as a disconnect, not a request error.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias_serve::http::{read_response_head, ChunkedReader};
 use autobias_serve::{serve, ServeConfig};
 use datasets::io::save_dataset;

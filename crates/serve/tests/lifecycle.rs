@@ -3,6 +3,8 @@
 //! concurrent clients, run a background learning job to completion, cancel
 //! another, scrape metrics, and shut down gracefully.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias::clause_text::parse_definition;
 use autobias::query::{definition_covers, QueryConfig};
 use autobias_serve::{serve, ServeConfig};

@@ -3,6 +3,8 @@
 //! histograms and core pipeline counters show up in `/metrics` with nonzero
 //! values, and that the job status exposes per-phase timings.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias_serve::{serve, ServeConfig};
 use datasets::io::save_dataset;
 use std::io::{Read, Write};

@@ -6,6 +6,8 @@
 //! cargo run --example custom_dataset --release
 //! ```
 
+#![allow(clippy::unwrap_used)] // example code favours brevity
+
 use autobias_repro::autobias::prelude::*;
 use autobias_repro::constraints::{build_type_graph, discover_inds, IndConfig};
 use autobias_repro::relstore::{csv::load_csv, Database};

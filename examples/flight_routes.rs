@@ -8,6 +8,8 @@
 //! cargo run --example flight_routes --release
 //! ```
 
+#![allow(clippy::unwrap_used)] // example code favours brevity
+
 use autobias_repro::autobias::prelude::*;
 use autobias_repro::datasets::flt::{generate, FltConfig};
 

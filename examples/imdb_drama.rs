@@ -7,6 +7,8 @@
 //! cargo run --example imdb_drama --release
 //! ```
 
+#![allow(clippy::unwrap_used)] // example code favours brevity
+
 use autobias_repro::autobias::bias::baseline::no_const_bias;
 use autobias_repro::autobias::prelude::*;
 use autobias_repro::datasets::imdb::{generate, ImdbConfig};

@@ -5,6 +5,8 @@
 //! cargo run --example quickstart --release
 //! ```
 
+#![allow(clippy::unwrap_used)] // example code favours brevity
+
 use autobias_repro::autobias::prelude::*;
 use autobias_repro::relstore::Database;
 

@@ -6,6 +6,8 @@
 //! cargo run --example uw_advisedby --release
 //! ```
 
+#![allow(clippy::unwrap_used)] // example code favours brevity
+
 use autobias_repro::autobias::prelude::*;
 use autobias_repro::datasets::uw::{generate, UwConfig};
 use std::time::Instant;

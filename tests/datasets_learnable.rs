@@ -3,6 +3,8 @@
 //! definition that separates held-out positives from negatives. These are
 //! the fast versions of the Table 5 "Manual" column.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias_repro::autobias::bottom::{BcConfig, SamplingStrategy};
 use autobias_repro::autobias::eval::{evaluate_definition, kfold_splits};
 use autobias_repro::autobias::learn::{Learner, LearnerConfig};

@@ -7,6 +7,8 @@
 //! - sampled learning never reports coverage that exact query evaluation
 //!   contradicts on the *training* set (one-sided approximation).
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias_repro::autobias::generalize::blocking_atom;
 use autobias_repro::autobias::prelude::*;
 use autobias_repro::relstore::{AttrRef, Database};

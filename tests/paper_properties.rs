@@ -2,6 +2,8 @@
 //! Example 2.5's bottom clause, Figure 1's type-graph shape, Table 3's
 //! induced definitions, and the §3.2 mode-generation rules.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias_repro::autobias::prelude::*;
 use autobias_repro::constraints::{build_type_graph, discover_inds, IndConfig};
 use autobias_repro::relstore::fixtures::uw_fragment;

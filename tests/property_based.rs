@@ -7,6 +7,9 @@
 //! - k-fold splits partition the data;
 //! - armg results generalize (cover everything the input covered).
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+#![cfg(not(miri))] // proptest-heavy: hundreds of cases, far too slow under miri
+
 use autobias_repro::autobias::bottom::GroundLiteral;
 use autobias_repro::autobias::prelude::*;
 use autobias_repro::constraints::{build_type_graph, check_ind, discover_inds, IndConfig};

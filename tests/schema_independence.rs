@@ -6,6 +6,8 @@
 //! partitioning participate in exact INDs, so the type graph re-links the
 //! fragments without any human intervention.
 
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+
 use autobias_repro::autobias::prelude::*;
 use autobias_repro::relstore::transform::vertical_partition;
 use autobias_repro::relstore::Database;
