@@ -13,6 +13,11 @@
 //!   in the baseline but zero or missing in the fresh run — the phase
 //!   tolerances assume the memo is engaged, so a silently disabled cache
 //!   must fail loudly rather than eat the whole timing budget;
+//! - a serving-benchmark throughput metric (`predictions_per_sec`,
+//!   `achieved_rps`, `speedup`) falls below `baseline / time_tolerance`, or a
+//!   latency metric (`p99_us`, `p999_us`) exceeds `baseline ×
+//!   time_tolerance` — only gated when the baseline carries the key, so
+//!   learning trajectories are unaffected;
 //! - a method or gated phase disappears from the fresh run (a structural
 //!   change that should come with a baseline refresh).
 //!
@@ -25,7 +30,20 @@ use obs::json::Json;
 /// Counters gated by [`compare`]: positive in the baseline ⇒ must stay
 /// positive in the fresh run. Deliberately a "still engaged" check, not a
 /// ratio — counter magnitudes shift with legitimate search-order changes.
-const GATED_COUNTERS: [&str; 1] = ["autobias_core_coverage_cache_hits_total"];
+const GATED_COUNTERS: [&str; 3] = [
+    "autobias_core_coverage_cache_hits_total",
+    "autobias_plan_compiled_total",
+    "autobias_http_keepalive_reuses_total",
+];
+
+/// Serving-benchmark throughput metrics (`BENCH_serve_*.json`): a fresh
+/// value below `baseline / time_tolerance` is a regression. Learning
+/// baselines don't carry these keys, so they gate nothing there.
+const FLOOR_METRICS: [&str; 3] = ["predictions_per_sec", "achieved_rps", "speedup"];
+
+/// Serving-benchmark latency metrics: a fresh value above
+/// `baseline × time_tolerance` is a regression.
+const CEILING_METRICS: [&str; 2] = ["p99_us", "p999_us"];
 
 /// Thresholds for [`compare`]. Ratios are multiplicative (2.0 = "may take
 /// twice as long"), the quality margin is absolute in F-measure points.
@@ -160,6 +178,29 @@ pub fn compare(baseline: &Json, fresh: &Json, cfg: &CompareConfig) -> Result<Out
                 metric(fresh_m, "f_measure").map(|v| -v),
                 -(base_f - cfg.quality_margin),
             );
+        }
+        for name in FLOOR_METRICS {
+            if let Some(base_v) = metric(base, name) {
+                // Same negation trick as f_measure: floor via ceiling.
+                out.check_ceiling(
+                    &method,
+                    name,
+                    -base_v,
+                    metric(fresh_m, name).map(|v| -v),
+                    -(base_v / cfg.time_tolerance),
+                );
+            }
+        }
+        for name in CEILING_METRICS {
+            if let Some(base_v) = metric(base, name) {
+                out.check_ceiling(
+                    &method,
+                    name,
+                    base_v,
+                    metric(fresh_m, name),
+                    base_v * cfg.time_tolerance,
+                );
+            }
         }
         let base_phases = base.get("phases").and_then(Json::as_obj);
         for (phase, entry) in base_phases.unwrap_or(&[]) {
@@ -366,6 +407,60 @@ mod tests {
         .unwrap();
         assert!(out.passed());
         assert_eq!(out.checks, 2); // time + quality only
+    }
+
+    fn serve_doc(pps: f64, speedup: f64, p99: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"dataset": "UW", "methods": {{
+                "compiled": {{
+                    "predictions_per_sec": {pps}, "speedup": {speedup},
+                    "phases": {{}}
+                }},
+                "http": {{
+                    "achieved_rps": 900.0, "p99_us": {p99}, "p999_us": {p99},
+                    "phases": {{}}
+                }}
+            }}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn serve_throughput_floors_and_latency_ceilings_gate() {
+        let base = serve_doc(1_000_000.0, 40.0, 800.0);
+        let out = compare(&base, &base, &CompareConfig::default()).unwrap();
+        assert!(out.passed(), "{:?}", out.regressions);
+        // compiled: pps + speedup; http: rps + p99 + p999.
+        assert_eq!(out.checks, 5);
+
+        // Halved tolerance-adjusted throughput and tripled tail latency fail.
+        let slow = serve_doc(400_000.0, 15.0, 2500.0);
+        let out = compare(&base, &slow, &CompareConfig::default()).unwrap();
+        let whats: Vec<&str> = out.regressions.iter().map(|r| r.what.as_str()).collect();
+        assert_eq!(
+            whats,
+            vec!["predictions_per_sec", "speedup", "p99_us", "p999_us"],
+            "{:?}",
+            out.regressions
+        );
+
+        // Within the 2× ratio band in both directions: passes.
+        let ok = serve_doc(600_000.0, 25.0, 1500.0);
+        assert!(compare(&base, &ok, &CompareConfig::default())
+            .unwrap()
+            .passed());
+
+        // Missing serve metrics in the fresh run fail instead of vacuously
+        // passing.
+        let stripped = Json::parse(
+            r#"{"dataset": "UW", "methods": {
+                "compiled": {"phases": {}}, "http": {"phases": {}}
+            }}"#,
+        )
+        .unwrap();
+        let out = compare(&base, &stripped, &CompareConfig::default()).unwrap();
+        assert_eq!(out.regressions.len(), 5);
+        assert!(out.regressions.iter().all(|r| r.fresh.is_nan()));
     }
 
     #[test]

@@ -81,6 +81,7 @@ autobias — relational learning with automatic language bias
 
 USAGE:
   autobias gen     --dataset uw|hiv|imdb|flt|sys --out DIR [--seed N]
+                   [--profile paper|serve]  (serve: UW at serving density)
   autobias stats   --data DIR
   autobias inds    --data DIR [--max-error F]
   autobias induce  --data DIR [--absolute N | --relative F] [--out FILE]
@@ -125,8 +126,19 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     let which = args.get_str("--dataset").ok_or("missing --dataset NAME")?;
     let out = PathBuf::from(args.get_str("--out").ok_or("missing --out DIR")?);
     let seed: u64 = args.get("--seed", 7);
+    let profile = args.get_str("--profile").unwrap_or("paper");
+    let uw_config = match profile {
+        "paper" => datasets::uw::UwConfig::default(),
+        "serve" => datasets::uw::serve_profile(),
+        other => return Err(format!("unknown profile {other:?} (paper|serve)")),
+    };
+    if profile != "paper" && !which.eq_ignore_ascii_case("uw") {
+        return Err(format!(
+            "--profile {profile} is only defined for --dataset uw"
+        ));
+    }
     let ds = match which.to_ascii_lowercase().as_str() {
-        "uw" => datasets::uw::generate(&datasets::uw::UwConfig::default(), seed),
+        "uw" => datasets::uw::generate(&uw_config, seed),
         "hiv" => datasets::hiv::generate(&datasets::hiv::HivConfig::default(), seed),
         "imdb" => datasets::imdb::generate(&datasets::imdb::ImdbConfig::default(), seed),
         "flt" => datasets::flt::generate(&datasets::flt::FltConfig::default(), seed),
@@ -324,6 +336,20 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
                 "learned definition failed static verification: {}",
                 verdict.summary()
             ));
+        }
+    }
+    // Serving readiness: compile the learned definition the same way the
+    // registry will at model load, so `--profile` / `--report-out` surface
+    // `plan.compile` timings and any interpreter-fallback clauses show up
+    // now rather than at first serve. Observational only — the model text
+    // is identical with AUTOBIAS_COMPILE=0.
+    if plan::enabled() {
+        let mut sp = obs::span!("plan.compile");
+        let compiled = plan::compile_definition(&ds.db, &def, &plan::CompileConfig::default());
+        sp.note("compiled", compiled.num_compiled() as u64);
+        sp.note("declined", compiled.num_declined() as u64);
+        for (i, why) in compiled.declined() {
+            obs::warn!("clause {i} declined by plan compiler ({why}); will serve interpreted");
         }
     }
     let text = def.render(&ds.db);

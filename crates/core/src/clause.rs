@@ -157,6 +157,53 @@ impl Clause {
         (0..self.body.len()).filter(|&i| included[i]).collect()
     }
 
+    /// Partitions body literal indices into connected components, where two
+    /// literals are linked when they share a variable *not* bound by the
+    /// head. Head variables are bound before body evaluation starts, so
+    /// literals touching only through a head variable are independent
+    /// semi-join subproblems: each component can be witnessed (or refuted)
+    /// on its own, with no backtracking across components. Components are
+    /// ordered by their smallest literal index; ground literals (and ones
+    /// using only head variables) form singleton components.
+    pub fn connected_body_components(&self) -> Vec<Vec<usize>> {
+        let head_vars: FxHashSet<VarId> = self.head.vars().collect();
+        let n = self.body.len();
+        // Union-find over body indices, linked via shared non-head vars.
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut i: usize) -> usize {
+            while parent[i] != i {
+                parent[i] = parent[parent[i]];
+                i = parent[i];
+            }
+            i
+        }
+        let mut owner: FxHashMap<VarId, usize> = FxHashMap::default();
+        for (i, lit) in self.body.iter().enumerate() {
+            for v in lit.vars().filter(|v| !head_vars.contains(v)) {
+                match owner.get(&v) {
+                    Some(&j) => {
+                        let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                        parent[ri.max(rj)] = ri.min(rj);
+                    }
+                    None => {
+                        owner.insert(v, i);
+                    }
+                }
+            }
+        }
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        let mut root_to_comp: FxHashMap<usize, usize> = FxHashMap::default();
+        for i in 0..n {
+            let r = find(&mut parent, i);
+            let c = *root_to_comp.entry(r).or_insert_with(|| {
+                components.push(Vec::new());
+                components.len() - 1
+            });
+            components[c].push(i);
+        }
+        components
+    }
+
     /// Removes body literals that are not head-connected, preserving order.
     /// Returns the number of literals dropped.
     pub fn prune_unconnected(&mut self) -> usize {
@@ -323,6 +370,36 @@ mod tests {
             vec![Literal::new(RelId(0), vec![Term::Const(Const(7))])],
         );
         assert_eq!(clause.prune_unconnected(), 0);
+    }
+
+    #[test]
+    fn components_split_on_non_head_vars_only() {
+        // head(x,y) ← r(x,z), s(z), r(y,w), t(w), u(x)
+        // {r(x,z), s(z)} share z; {r(y,w), t(w)} share w; u(x) touches only
+        // a head var, so it is its own component.
+        let clause = Clause::new(
+            Literal::new(RelId(9), vec![v(0), v(1)]),
+            vec![
+                Literal::new(RelId(0), vec![v(0), v(2)]),
+                Literal::new(RelId(1), vec![v(2)]),
+                Literal::new(RelId(0), vec![v(1), v(3)]),
+                Literal::new(RelId(2), vec![v(3)]),
+                Literal::new(RelId(3), vec![v(0)]),
+            ],
+        );
+        assert_eq!(
+            clause.connected_body_components(),
+            vec![vec![0, 1], vec![2, 3], vec![4]]
+        );
+        // Ground literal: singleton component.
+        let ground = Clause::new(
+            Literal::new(RelId(9), vec![v(0)]),
+            vec![Literal::new(RelId(0), vec![Term::Const(Const(7))])],
+        );
+        assert_eq!(ground.connected_body_components(), vec![vec![0]]);
+        // Empty body: no components.
+        let empty = Clause::new(Literal::new(RelId(9), vec![v(0)]), vec![]);
+        assert!(empty.connected_body_components().is_empty());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use crate::clause::{Clause, Definition, Literal, Term, VarId};
 use crate::example::Example;
-use relstore::{Const, Database, TupleId};
+use relstore::{Const, Database, RelId, TupleId};
 
 /// Search budget for one direct evaluation.
 #[derive(Debug, Clone, Copy)]
@@ -30,17 +30,45 @@ impl Default for QueryConfig {
     }
 }
 
+/// Reusable evaluation buffers. One direct query needs a binding vector and
+/// an assigned-literal bitmap; batch callers (the serve predict path checks
+/// thousands of tuples per request) reuse one `EvalScratch` across tuples
+/// instead of allocating both per tuple.
+#[derive(Debug, Default)]
+pub struct EvalScratch {
+    binding: Vec<Option<Const>>,
+    assigned: Vec<bool>,
+}
+
 /// Whether `clause` covers `example` relative to the full database:
 /// binds the head to the example's constants and searches for body tuples
 /// witnessing all joins (`I ∧ C ⊨ e`).
 pub fn clause_covers(db: &Database, clause: &Clause, example: &Example, cfg: &QueryConfig) -> bool {
+    let mut scratch = EvalScratch::default();
+    clause_covers_args(db, clause, example.rel, &example.args, cfg, &mut scratch)
+}
+
+/// [`clause_covers`] with the head tuple given as `(rel, args)` and buffers
+/// reused from `scratch` — the batch-friendly form.
+pub fn clause_covers_args(
+    db: &Database,
+    clause: &Clause,
+    rel: RelId,
+    args: &[Const],
+    cfg: &QueryConfig,
+    scratch: &mut EvalScratch,
+) -> bool {
     crate::instrument::COVERAGE_QUERIES.bump();
-    if clause.head.rel != example.rel || clause.head.args.len() != example.args.len() {
+    if clause.head.rel != rel || clause.head.args.len() != args.len() {
         return false;
     }
     let num_vars = clause.num_vars() as usize;
-    let mut binding: Vec<Option<Const>> = vec![None; num_vars];
-    for (t, &c) in clause.head.args.iter().zip(example.args.iter()) {
+    scratch.binding.clear();
+    scratch.binding.resize(num_vars, None);
+    scratch.assigned.clear();
+    scratch.assigned.resize(clause.body.len(), false);
+    let binding = &mut scratch.binding;
+    for (t, &c) in clause.head.args.iter().zip(args.iter()) {
         match *t {
             Term::Var(v) => match binding[v.index()] {
                 None => binding[v.index()] = Some(c),
@@ -60,8 +88,7 @@ pub fn clause_covers(db: &Database, clause: &Clause, example: &Example, cfg: &Qu
         cfg,
         nodes: 0,
     };
-    let mut assigned = vec![false; clause.body.len()];
-    eval.solve(&mut binding, &mut assigned)
+    eval.solve(binding, &mut scratch.assigned)
 }
 
 /// Whether any clause of `definition` covers `example` (Horn-definition
@@ -73,12 +100,30 @@ pub fn definition_covers(
     cfg: &QueryConfig,
 ) -> bool {
     let mut sp = obs::span!("coverage.spj");
+    let mut scratch = EvalScratch::default();
     let covered = definition
         .clauses
         .iter()
-        .any(|c| clause_covers(db, c, example, cfg));
+        .any(|c| clause_covers_args(db, c, example.rel, &example.args, cfg, &mut scratch));
     sp.note("clauses", definition.clauses.len() as u64);
     covered
+}
+
+/// Span-free [`definition_covers`] over `(rel, args)` with reused scratch
+/// buffers: the per-tuple form for batch callers that wrap the whole batch
+/// in one span of their own.
+pub fn definition_covers_args(
+    db: &Database,
+    definition: &Definition,
+    rel: RelId,
+    args: &[Const],
+    cfg: &QueryConfig,
+    scratch: &mut EvalScratch,
+) -> bool {
+    definition
+        .clauses
+        .iter()
+        .any(|c| clause_covers_args(db, c, rel, args, cfg, scratch))
 }
 
 struct Eval<'a> {

@@ -44,6 +44,15 @@ pub struct UwConfig {
     /// precision of the plain co-authorship rule slightly below 1 — the
     /// paper's UW row is high-precision (0.93), low-recall (0.54).
     pub noise_coauthor_pairs: usize,
+    /// Average sole-author publications per professor (papers with external
+    /// collaborators, tech reports — no student in the department on them).
+    /// They carry no co-authorship signal, so ground truth and rule quality
+    /// are untouched; what they change is *degree*: the professor side of
+    /// the `publication` index becomes orders of magnitude heavier than the
+    /// student side, as in real bibliographies. Serving-oriented profiles
+    /// set this high to expose how evaluation engines treat the unselective
+    /// side of a join.
+    pub faculty_publications: usize,
 }
 
 impl Default for UwConfig {
@@ -58,7 +67,32 @@ impl Default for UwConfig {
             evidence_prob: 0.6,
             noise_publications: 60,
             noise_coauthor_pairs: 8,
+            faculty_publications: 0,
         }
+    }
+}
+
+/// Serving-benchmark profile: same schema and ground truth, but at the
+/// density serving workloads actually see. The default config is calibrated
+/// to the paper's *learning* experiments (~1.8K tuples), which leaves every
+/// person with one or two publications — far thinner than the real UW-CSE
+/// data, where faculty carry dozens of papers each. Predict-time evaluation
+/// cost is dominated by posting-list lengths, so the serve profile scales
+/// the population up and makes professors publication-heavy: evaluation
+/// engines then differ by how they treat the *unselective* side of the
+/// co-authorship join, which is exactly what `bench_serve` measures.
+pub fn serve_profile() -> UwConfig {
+    UwConfig {
+        students: 300,
+        professors: 30,
+        courses: 80,
+        advised_pairs: 600,
+        negatives: 1200,
+        coauthor_prob: 0.75,
+        evidence_prob: 0.8,
+        noise_publications: 1500,
+        noise_coauthor_pairs: 40,
+        faculty_publications: 700,
     }
 }
 
@@ -240,6 +274,18 @@ pub fn generate(cfg: &UwConfig, seed: u64) -> Dataset {
         }
     });
 
+    // Faculty bibliographies: sole-author papers spread uniformly over the
+    // professors. Single-author tuples cannot satisfy a co-authorship join,
+    // so the examples' labels are unaffected — only the professor-side
+    // posting lists grow. Drawn *after* example sampling so the same seed
+    // yields identical pos/neg sets whatever this knob is set to.
+    for _ in 0..cfg.faculty_publications * cfg.professors {
+        let t = format!("solo_paper{pub_id}");
+        pub_id += 1;
+        let pi = rng.random_range(0..cfg.professors);
+        db.insert(publication, &[&t, &format!("prof{pi}")]);
+    }
+
     db.build_indexes();
     Dataset {
         name: "UW",
@@ -254,6 +300,42 @@ pub fn generate(cfg: &UwConfig, seed: u64) -> Dataset {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn serve_profile_is_dense_but_label_preserving() {
+        let seed = 11;
+        let dense = generate(&serve_profile(), seed);
+        let thin_cfg = UwConfig {
+            faculty_publications: 0,
+            ..serve_profile()
+        };
+        let thin = generate(&thin_cfg, seed);
+        // Same examples bit-for-bit: the bibliography knob only adds
+        // sole-author tuples, after sampling.
+        let render = |d: &Dataset, e: &Example| e.render(&d.db);
+        assert_eq!(dense.pos.len(), thin.pos.len());
+        assert_eq!(dense.neg.len(), thin.neg.len());
+        for (a, b) in dense.pos.iter().zip(&thin.pos) {
+            assert_eq!(render(&dense, a), render(&thin, b));
+        }
+        for (a, b) in dense.neg.iter().zip(&thin.neg) {
+            assert_eq!(render(&dense, a), render(&thin, b));
+        }
+        // The professor side of the publication index is now orders of
+        // magnitude heavier than the student side — the degree skew the
+        // serving benchmark exercises.
+        let publ = dense.db.rel_id("publication").unwrap();
+        let rel = dense.db.relation(publ);
+        let idx = rel.index(1).expect("person attribute indexed");
+        let prof0 = dense.db.lookup("prof0").unwrap();
+        let s0 = dense.db.lookup("s0").unwrap();
+        assert!(
+            idx.freq(prof0) > 20 * idx.freq(s0).max(1),
+            "prof degree {} should dwarf student degree {}",
+            idx.freq(prof0),
+            idx.freq(s0)
+        );
+    }
 
     #[test]
     fn default_scale_matches_paper() {

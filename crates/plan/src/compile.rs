@@ -1,0 +1,544 @@
+//! Clause → plan compilation: literal ordering by estimated selectivity,
+//! index-probe access-path selection, and bound/free argument dispatch
+//! resolved into flat op lists.
+//!
+//! A compiled clause is a sequence of `Step`s, one per body literal, in an
+//! order chosen at compile time (with up to `MAX_VARIANTS` alternative
+//! orderings kept when cost estimates tie — see `Variant` — selected per
+//! evaluation from the concrete head bindings). Each step names its access
+//! path — an
+//! [`AttrIndex`](relstore::AttrIndex) probe keyed by a constant or an
+//! already-bound variable slot, or a scan when no indexed position is bound
+//! — plus the residual per-tuple ops (equality checks and slot binds). The
+//! body is first split into [connected components]
+//! (`autobias::clause::Clause::connected_body_components`): literals that
+//! share no non-head variable are independent semi-join subproblems, so the
+//! executor never backtracks across a component boundary (the first step of
+//! each component is a *barrier* — exhausting it refutes the whole clause).
+//!
+//! Ordering within a component is greedy: starting from the head-bound
+//! variables, repeatedly emit the literal with the smallest estimated
+//! candidate count ([`relstore::Relation::estimated_matches`] — the exact
+//! posting length for constant keys, average posting length for bound
+//! variables, relation cardinality for scans), then mark its variables
+//! bound. This mirrors the fewest-candidates-first heuristic the interpreter
+//! applies per backtracking node, hoisted to compile time.
+
+use autobias::clause::{Clause, Definition, Literal, Term, VarId};
+use relstore::{Const, Database, FxHashMap, FxHashSet, RelId};
+
+/// Hard cap on body literals per compiled clause — sizes the executor's
+/// fixed per-depth state array.
+pub const MAX_STEPS: usize = 32;
+/// Hard cap on distinct variables per compiled clause — sizes the
+/// executor's fixed binding array.
+pub const MAX_SLOTS: usize = 64;
+
+/// Compilation limits and the runtime search budget baked into each plan.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileConfig {
+    /// Decline clauses with more body literals than this (≤ [`MAX_STEPS`]).
+    pub max_steps: usize,
+    /// Decline clauses with more distinct variables than this
+    /// (≤ [`MAX_SLOTS`]).
+    pub max_slots: usize,
+    /// Backtracking node budget per evaluation, mirroring
+    /// `autobias::query::QueryConfig::node_limit` so a compiled plan gives
+    /// up on the same pathological searches the interpreter would.
+    pub node_limit: usize,
+}
+
+impl Default for CompileConfig {
+    fn default() -> Self {
+        Self {
+            max_steps: MAX_STEPS,
+            max_slots: MAX_SLOTS,
+            node_limit: 1_000_000,
+        }
+    }
+}
+
+/// Why a clause was not compiled. Declining is not an error: the clause
+/// stays servable through the interpreter, and [`crate::PLAN_FALLBACK`]
+/// counts it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Declined {
+    /// Body longer than the executor's fixed depth array.
+    TooManyLiterals(usize),
+    /// More distinct variables than the executor's fixed slot array.
+    TooManyVariables(usize),
+    /// A literal's arity disagrees with the catalog (a malformed clause;
+    /// the interpreter answers `false` for it, and so would a plan, but we
+    /// decline rather than encode out-of-range positions).
+    ArityMismatch {
+        /// Relation whose use disagrees with the catalog.
+        rel: RelId,
+        /// Arity written in the clause.
+        got: usize,
+        /// Arity declared by the catalog.
+        want: usize,
+    },
+}
+
+impl std::fmt::Display for Declined {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Declined::TooManyLiterals(n) => write!(f, "{n} body literals exceed {MAX_STEPS}"),
+            Declined::TooManyVariables(n) => write!(f, "{n} variables exceed {MAX_SLOTS}"),
+            Declined::ArityMismatch { rel, got, want } => {
+                write!(
+                    f,
+                    "literal on rel#{} has arity {got}, catalog says {want}",
+                    rel.0
+                )
+            }
+        }
+    }
+}
+
+/// Probe key for an indexed access: a constant from the clause text, or the
+/// runtime value of an already-bound variable slot.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Key {
+    /// Constant known at compile time.
+    Const(Const),
+    /// Slot bound by the head or an earlier step.
+    Slot(u32),
+}
+
+/// Access path of one step.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Access {
+    /// Probe the attribute index at `pos` with `key`; candidates are the
+    /// posting list (every candidate already satisfies position `pos`, so
+    /// the op list skips it).
+    Probe {
+        /// Indexed attribute position.
+        pos: usize,
+        /// Probe key.
+        key: Key,
+    },
+    /// No indexed bound position: iterate all tuple ids.
+    Scan,
+}
+
+/// One per-candidate-tuple operation. Ops run left-to-right; a fresh
+/// variable's `Bind` always precedes any `CheckSlot` on the same slot, so
+/// slots never need un-binding on backtrack — re-running the ops on the
+/// next candidate overwrites them before any read.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Op {
+    /// Tuple position must equal a compile-time constant.
+    CheckConst {
+        /// Attribute position.
+        pos: usize,
+        /// Required value.
+        val: Const,
+    },
+    /// Tuple position must equal an already-bound slot.
+    CheckSlot {
+        /// Attribute position.
+        pos: usize,
+        /// Slot to compare against.
+        slot: u32,
+    },
+    /// Tuple position binds a fresh slot.
+    Bind {
+        /// Attribute position.
+        pos: usize,
+        /// Slot to write.
+        slot: u32,
+    },
+}
+
+/// One body literal, compiled.
+#[derive(Debug)]
+pub(crate) struct Step {
+    pub(crate) rel: RelId,
+    pub(crate) access: Access,
+    pub(crate) ops: Box<[Op]>,
+    /// First step of a connected component: exhausting its candidates
+    /// refutes the clause outright (no earlier binding can revive an
+    /// independent subproblem), so the executor returns `false` instead of
+    /// backtracking across the boundary.
+    pub(crate) barrier: bool,
+    /// Estimated candidate count at compile time (kept for diagnostics).
+    pub(crate) est_cost: usize,
+}
+
+/// One complete step ordering for a clause body. A clause usually compiles
+/// to a single variant; symmetric joins (several literals tied at the
+/// minimum compile-time estimate for the opening step, e.g.
+/// `publication(z,x), publication(z,y)`) compile to one variant per tied
+/// opener, and the executor picks per evaluation by the *actual* posting
+/// frequency of each variant's first probe key. Compile-time estimates
+/// cannot break such ties — both openers probe the same index with an
+/// unknown key — but at run time the keys are concrete and their posting
+/// lengths can differ by orders of magnitude (a student's publications vs.
+/// a prolific professor's).
+#[derive(Debug)]
+pub(crate) struct Variant {
+    pub(crate) steps: Box<[Step]>,
+}
+
+/// A clause compiled into an ordered index-probe pipeline. Evaluate with
+/// [`CompiledClause::covers`](crate::exec). Plans are only valid against
+/// the database they were compiled for: access paths assume its indexes.
+#[derive(Debug)]
+pub struct CompiledClause {
+    pub(crate) head_rel: RelId,
+    pub(crate) head_arity: usize,
+    pub(crate) head_ops: Box<[Op]>,
+    /// Equivalent step orderings (always ≥ 1); see [`Variant`].
+    pub(crate) variants: Box<[Variant]>,
+    pub(crate) node_limit: usize,
+}
+
+impl CompiledClause {
+    /// The head relation this plan answers for.
+    pub fn head_rel(&self) -> RelId {
+        self.head_rel
+    }
+
+    /// Number of compiled steps (body literals).
+    pub fn num_steps(&self) -> usize {
+        self.variants[0].steps.len()
+    }
+
+    /// Number of equivalent step orderings the executor chooses between at
+    /// run time (1 unless the opening step was tied at compile time).
+    pub fn num_variants(&self) -> usize {
+        self.variants.len()
+    }
+
+    /// Step order and access paths, one line per step — for `--profile`
+    /// output and tests that pin the ordering heuristic. Multi-variant
+    /// plans list each ordering under a `variant` header.
+    pub fn describe(&self, db: &Database) -> String {
+        let mut out = String::new();
+        for (vi, variant) in self.variants.iter().enumerate() {
+            if self.variants.len() > 1 {
+                out.push_str(&format!("  variant {vi} (runtime-selected):\n"));
+            }
+            for (i, s) in variant.steps.iter().enumerate() {
+                let name = &db.catalog().schema(s.rel).name;
+                let access = match s.access {
+                    Access::Probe {
+                        pos,
+                        key: Key::Const(c),
+                    } => {
+                        format!("probe {name}.{pos} = {}", db.const_name(c))
+                    }
+                    Access::Probe {
+                        pos,
+                        key: Key::Slot(s),
+                    } => {
+                        format!("probe {name}.{pos} = ?{s}")
+                    }
+                    Access::Scan => format!("scan {name}"),
+                };
+                let barrier = if s.barrier { " [component]" } else { "" };
+                out.push_str(&format!(
+                    "  step {i}: {access} (est {}){barrier}\n",
+                    s.est_cost
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// A whole definition compiled: the plans that compiled plus the indices of
+/// clauses that declined (the caller routes those through the interpreter).
+#[derive(Debug, Default)]
+pub struct CompiledDefinition {
+    plans: Vec<CompiledClause>,
+    declined: Vec<(usize, Declined)>,
+}
+
+impl CompiledDefinition {
+    /// Number of clauses that compiled.
+    pub fn num_compiled(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// Number of clauses that declined.
+    pub fn num_declined(&self) -> usize {
+        self.declined.len()
+    }
+
+    /// Whether every clause compiled (no interpreter fallback needed).
+    pub fn is_fully_compiled(&self) -> bool {
+        self.declined.is_empty()
+    }
+
+    /// Indices (into the source definition) and reasons of declined clauses.
+    pub fn declined(&self) -> &[(usize, Declined)] {
+        &self.declined
+    }
+
+    /// The compiled plans, in source-definition order (declined clauses
+    /// skipped).
+    pub fn plans(&self) -> &[CompiledClause] {
+        &self.plans
+    }
+
+    /// Whether any *compiled* clause covers `args` (Horn-definition
+    /// disjunction over the compiled subset). When [`Self::is_fully_compiled`]
+    /// this is the complete verdict; otherwise the caller must also try the
+    /// declined clauses through the interpreter.
+    pub fn covers_compiled(&self, db: &Database, args: &[Const]) -> bool {
+        self.covers_compiled_with(db, args, &mut crate::ExecScratch::default())
+    }
+
+    /// [`Self::covers_compiled`] with execution buffers reused from
+    /// `scratch` — the batch form used by the serve predict loop.
+    pub fn covers_compiled_with<'a>(
+        &self,
+        db: &'a Database,
+        args: &[Const],
+        scratch: &mut crate::ExecScratch<'a>,
+    ) -> bool {
+        self.plans.iter().any(|p| p.covers_with(db, args, scratch))
+    }
+}
+
+/// Compiles every clause of `definition`, bumping [`crate::PLAN_COMPILED`] /
+/// [`crate::PLAN_FALLBACK`] per clause. Never fails: clauses outside the
+/// plan shape are recorded as declined.
+pub fn compile_definition(
+    db: &Database,
+    definition: &Definition,
+    cfg: &CompileConfig,
+) -> CompiledDefinition {
+    crate::register();
+    let mut out = CompiledDefinition::default();
+    for (i, clause) in definition.clauses.iter().enumerate() {
+        match compile_clause(db, clause, cfg) {
+            Ok(plan) => {
+                crate::PLAN_COMPILED.bump();
+                out.plans.push(plan);
+            }
+            Err(why) => {
+                crate::PLAN_FALLBACK.bump();
+                out.declined.push((i, why));
+            }
+        }
+    }
+    out
+}
+
+/// Compiles one clause, or says why it declined. `db` supplies the catalog
+/// (arity checks), cardinalities (ordering), and index availability (access
+/// paths); the produced plan must be evaluated against the same database.
+pub fn compile_clause(
+    db: &Database,
+    clause: &Clause,
+    cfg: &CompileConfig,
+) -> Result<CompiledClause, Declined> {
+    if clause.body.len() > cfg.max_steps.min(MAX_STEPS) {
+        return Err(Declined::TooManyLiterals(clause.body.len()));
+    }
+    check_arity(db, &clause.head)?;
+    for lit in &clause.body {
+        check_arity(db, lit)?;
+    }
+
+    let mut slots: FxHashMap<VarId, u32> = FxHashMap::default();
+    let max_slots = cfg.max_slots.min(MAX_SLOTS);
+
+    // Head dispatch: binds head-variable slots from the example tuple and
+    // checks head constants / repeated head variables.
+    let mut head_ops = Vec::with_capacity(clause.head.args.len());
+    for (pos, t) in clause.head.args.iter().enumerate() {
+        head_ops.push(term_op(*t, pos, &mut slots));
+    }
+
+    let components = clause.connected_body_components();
+    // One ordering per tied opener of the first component (usually just
+    // one); the executor selects per evaluation by actual probe frequency.
+    let mut variants = Vec::new();
+    for force_first in tied_openers(db, clause, &components, &slots) {
+        let (steps, num_slots) = order_steps(db, clause, &components, slots.clone(), force_first);
+        if num_slots > max_slots {
+            return Err(Declined::TooManyVariables(num_slots));
+        }
+        variants.push(Variant { steps });
+    }
+    Ok(CompiledClause {
+        head_rel: clause.head.rel,
+        head_arity: clause.head.args.len(),
+        head_ops: head_ops.into_boxed_slice(),
+        variants: variants.into_boxed_slice(),
+        node_limit: cfg.node_limit,
+    })
+}
+
+/// Cap on runtime-selected orderings per clause. Ties wider than this keep
+/// only the first openers in source order; selection still beats a blind
+/// static pick among those.
+const MAX_VARIANTS: usize = 4;
+
+/// Body indices to force as the opening step, one per compiled variant.
+/// `[None]` (single variant, pure greedy) unless several literals of the
+/// first component tie at the minimum estimate with an index-probe access —
+/// the one situation where compile-time statistics cannot distinguish
+/// orderings but runtime posting lengths can.
+fn tied_openers(
+    db: &Database,
+    clause: &Clause,
+    components: &[Vec<usize>],
+    head_slots: &FxHashMap<VarId, u32>,
+) -> Vec<Option<usize>> {
+    let Some(first) = components.first() else {
+        return vec![None];
+    };
+    let bound: FxHashSet<VarId> = head_slots.keys().copied().collect();
+    let ests: Vec<(usize, usize, bool)> = first
+        .iter()
+        .map(|&li| {
+            let (est, access) = estimate(db, &clause.body[li], &bound, head_slots);
+            (li, est, matches!(access, Access::Probe { .. }))
+        })
+        .collect();
+    let min = ests
+        .iter()
+        .map(|&(_, est, _)| est)
+        .min()
+        .expect("non-empty");
+    let mut tied: Vec<usize> = ests
+        .iter()
+        .filter(|&&(_, est, probe)| est == min && probe)
+        .map(|&(li, _, _)| li)
+        .collect();
+    if tied.len() <= 1 {
+        return vec![None];
+    }
+    tied.truncate(MAX_VARIANTS);
+    tied.into_iter().map(Some).collect()
+}
+
+/// Orders every component's literals greedily into steps, optionally
+/// forcing `force_first` as the opening literal of the first component.
+/// Returns the steps and the number of slots allocated (head + body).
+fn order_steps(
+    db: &Database,
+    clause: &Clause,
+    components: &[Vec<usize>],
+    mut slots: FxHashMap<VarId, u32>,
+    force_first: Option<usize>,
+) -> (Box<[Step]>, usize) {
+    let mut bound: FxHashSet<VarId> = slots.keys().copied().collect();
+    let mut steps: Vec<Step> = Vec::with_capacity(clause.body.len());
+    for component in components {
+        let mut remaining = component.clone();
+        let mut first = true;
+        while !remaining.is_empty() {
+            // Greedy: the cheapest literal under the current bound set.
+            // `min_by_key` keeps the first minimum, so ties break toward
+            // source order (stable plans for stable clauses).
+            let k = match force_first.filter(|_| first && steps.is_empty()) {
+                Some(li) => remaining
+                    .iter()
+                    .position(|&x| x == li)
+                    .expect("forced opener is in the first component"),
+                None => {
+                    remaining
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|&(_, &li)| estimate(db, &clause.body[li], &bound, &slots).0)
+                        .expect("remaining is non-empty")
+                        .0
+                }
+            };
+            let li = remaining.swap_remove(k);
+            let lit = &clause.body[li];
+            let (est_cost, access) = estimate(db, lit, &bound, &slots);
+            let probe_pos = match access {
+                Access::Probe { pos, .. } => Some(pos),
+                Access::Scan => None,
+            };
+            let mut ops = Vec::with_capacity(lit.args.len());
+            for (pos, t) in lit.args.iter().enumerate() {
+                // The probe position is satisfied by construction: posting
+                // lists only contain tuples matching the key.
+                if Some(pos) == probe_pos {
+                    if let Term::Var(v) = *t {
+                        debug_assert!(slots.contains_key(&v), "probe key var must be bound");
+                    }
+                    continue;
+                }
+                ops.push(term_op(*t, pos, &mut slots));
+            }
+            bound.extend(lit.vars());
+            steps.push(Step {
+                rel: lit.rel,
+                access,
+                ops: ops.into_boxed_slice(),
+                barrier: first,
+                est_cost,
+            });
+            first = false;
+        }
+    }
+    let num_slots = slots.len();
+    (steps.into_boxed_slice(), num_slots)
+}
+
+fn check_arity(db: &Database, lit: &Literal) -> Result<(), Declined> {
+    let want = db.catalog().schema(lit.rel).arity();
+    if lit.args.len() != want {
+        return Err(Declined::ArityMismatch {
+            rel: lit.rel,
+            got: lit.args.len(),
+            want,
+        });
+    }
+    Ok(())
+}
+
+/// The op for one argument position: check against a constant, check
+/// against an already-bound slot, or bind a fresh slot (allocating it).
+fn term_op(t: Term, pos: usize, slots: &mut FxHashMap<VarId, u32>) -> Op {
+    match t {
+        Term::Const(c) => Op::CheckConst { pos, val: c },
+        Term::Var(v) => match slots.get(&v) {
+            Some(&slot) => Op::CheckSlot { pos, slot },
+            None => {
+                let slot = slots.len() as u32;
+                slots.insert(v, slot);
+                Op::Bind { pos, slot }
+            }
+        },
+    }
+}
+
+/// Estimated candidate count and best access path for `lit` given the
+/// variables bound so far. Prefers the most selective indexed position;
+/// falls back to a scan costed at the relation's cardinality.
+fn estimate(
+    db: &Database,
+    lit: &Literal,
+    bound: &FxHashSet<VarId>,
+    slots: &FxHashMap<VarId, u32>,
+) -> (usize, Access) {
+    let rel = db.relation(lit.rel);
+    let mut best: Option<(usize, Access)> = None;
+    for (pos, t) in lit.args.iter().enumerate() {
+        let (value, key) = match *t {
+            Term::Const(c) => (Some(c), Key::Const(c)),
+            Term::Var(v) if bound.contains(&v) => (
+                None,
+                Key::Slot(*slots.get(&v).expect("bound var has a slot")),
+            ),
+            Term::Var(_) => continue,
+        };
+        let Some(est) = rel.estimated_matches(pos, value) else {
+            continue; // unindexed position: a probe is impossible here
+        };
+        if best.is_none() || est < best.as_ref().map_or(usize::MAX, |b| b.0) {
+            best = Some((est, Access::Probe { pos, key }));
+        }
+    }
+    best.unwrap_or((rel.len().max(1), Access::Scan))
+}

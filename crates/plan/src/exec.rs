@@ -1,0 +1,494 @@
+//! Zero-allocation execution of compiled plans.
+//!
+//! [`CompiledClause::covers`] is an iterative backtracking walk over the
+//! plan's steps. All state lives in fixed-size stack arrays sized by
+//! [`MAX_STEPS`] / [`MAX_SLOTS`] (compilation declined anything larger):
+//! the slot bindings, and one candidate cursor per depth — a borrowed
+//! posting-list slice for index probes, a plain id range for scans. No heap
+//! allocation, no hashing beyond the one index probe per step entry, and no
+//! un-binding on backtrack (compile-time op ordering guarantees every slot
+//! write precedes any read of it — see [`Op`](crate::compile)).
+//!
+//! Two structural facts from compilation shape the control flow:
+//!
+//! - a step's candidates depend only on slots bound by the head or by
+//!   *earlier* steps, so re-entering a depth recomputes exactly one probe;
+//! - the first step of each connected component is a *barrier*: its
+//!   exhaustion refutes the clause without trying other bindings of earlier
+//!   components, which share no variables with it.
+
+use crate::compile::{Access, CompiledClause, Key, Op, Step, Variant, MAX_SLOTS, MAX_STEPS};
+use relstore::{Const, Database, TupleId};
+
+/// Per-depth candidate cursor. `Copy` (the slice is a shared borrow), so
+/// the whole array initializes from a constant.
+#[derive(Clone, Copy)]
+struct StepState<'a> {
+    cands: &'a [TupleId],
+    cursor: usize,
+    scan: bool,
+    scan_end: usize,
+}
+
+impl<'a> StepState<'a> {
+    const EMPTY: StepState<'a> = StepState {
+        cands: &[],
+        cursor: 0,
+        scan: false,
+        scan_end: 0,
+    };
+}
+
+/// Reusable execution state: the slot bindings and per-depth cursors for one
+/// evaluation. Zeroing these fixed-size arrays (~1 KiB) per call costs more
+/// than many evaluations do — batch callers allocate one scratch and reuse
+/// it across every tuple and every plan of the batch. Reuse is sound
+/// without clearing: compile-time op ordering guarantees each call writes
+/// every slot and step state before reading it, so stale values from a
+/// previous tuple are never observed.
+///
+/// The lifetime ties borrowed posting-list slices to the database being
+/// queried; one scratch serves any number of plans compiled against it.
+pub struct ExecScratch<'a> {
+    slots: [Const; MAX_SLOTS],
+    states: [StepState<'a>; MAX_STEPS],
+}
+
+impl Default for ExecScratch<'_> {
+    fn default() -> Self {
+        Self {
+            slots: [Const(0); MAX_SLOTS],
+            states: [StepState::EMPTY; MAX_STEPS],
+        }
+    }
+}
+
+impl CompiledClause {
+    /// Whether this clause covers the head tuple `args` against `db` —
+    /// exactly [`autobias::query::clause_covers`] semantics
+    /// (`I ∧ C ⊨ e`, Definition 2.4), including answering `false` past the
+    /// node budget.
+    ///
+    /// `db` must be the database the plan was compiled against: access
+    /// paths assume its indexes and cardinalities.
+    ///
+    /// # Panics
+    /// Panics if an index present at compile time is missing at run time
+    /// (impossible when the database is shared and immutable, as in serve).
+    pub fn covers(&self, db: &Database, args: &[Const]) -> bool {
+        self.covers_with(db, args, &mut ExecScratch::default())
+    }
+
+    /// [`covers`](Self::covers) with state buffers reused from `scratch` —
+    /// the batch form. One scratch serves any number of tuples and plans;
+    /// nothing carries over between calls (every slot and cursor is written
+    /// before it is read).
+    pub fn covers_with<'a>(
+        &self,
+        db: &'a Database,
+        args: &[Const],
+        scratch: &mut ExecScratch<'a>,
+    ) -> bool {
+        // Same counter the interpreter bumps in `clause_covers_args`: a
+        // coverage query is a coverage query, whichever engine answers it.
+        autobias::instrument::COVERAGE_QUERIES.bump();
+        if args.len() != self.head_arity {
+            return false;
+        }
+        let slots = &mut scratch.slots;
+        for op in self.head_ops.iter() {
+            match *op {
+                Op::CheckConst { pos, val } => {
+                    if args[pos] != val {
+                        return false;
+                    }
+                }
+                Op::CheckSlot { pos, slot } => {
+                    if args[pos] != slots[slot as usize] {
+                        return false;
+                    }
+                }
+                Op::Bind { pos, slot } => slots[slot as usize] = args[pos],
+            }
+        }
+        // Variant selection: with several equivalent orderings compiled
+        // (symmetric joins the estimator could not break), probe frequencies
+        // are now concrete — walk the ordering whose opening posting list is
+        // shortest. Two O(1) freq reads here routinely save walking a
+        // posting list orders of magnitude longer.
+        let variant = match self.variants.split_first() {
+            Some((single, [])) => single,
+            _ => self
+                .variants
+                .iter()
+                .min_by_key(|v| v.entry_cost(db, slots))
+                .expect("compiled clause has at least one variant"),
+        };
+        let steps = &variant.steps;
+        if steps.is_empty() {
+            return true;
+        }
+
+        let states = &mut scratch.states;
+        let mut nodes = 0usize;
+        let mut depth = 0usize;
+        states[0] = enter(db, &steps[0], slots);
+        loop {
+            if advance(
+                db,
+                &steps[depth],
+                &mut states[depth],
+                slots,
+                &mut nodes,
+                self.node_limit,
+            ) {
+                depth += 1;
+                if depth == steps.len() {
+                    return true;
+                }
+                states[depth] = enter(db, &steps[depth], slots);
+            } else {
+                // Budget exhausted, or a barrier step ran dry: both refute.
+                if nodes > self.node_limit || steps[depth].barrier {
+                    return false;
+                }
+                depth -= 1;
+            }
+        }
+    }
+}
+
+impl Variant {
+    /// Candidate count of the opening step under the head bindings —
+    /// the runtime analogue of the compile-time estimate, exact because
+    /// probe keys are now concrete values.
+    fn entry_cost(&self, db: &Database, slots: &[Const]) -> usize {
+        let Some(step) = self.steps.first() else {
+            return 0;
+        };
+        let rel = db.relation(step.rel);
+        match step.access {
+            Access::Probe { pos, key } => {
+                let k = match key {
+                    Key::Const(c) => c,
+                    Key::Slot(s) => slots[s as usize],
+                };
+                rel.index(pos)
+                    .expect("compiled plan evaluated against a database missing its indexes")
+                    .freq(k)
+            }
+            Access::Scan => rel.len(),
+        }
+    }
+}
+
+/// Computes the candidate set for `step` under the current bindings.
+fn enter<'a>(db: &'a Database, step: &Step, slots: &[Const]) -> StepState<'a> {
+    let rel = db.relation(step.rel);
+    match step.access {
+        Access::Probe { pos, key } => {
+            let k = match key {
+                Key::Const(c) => c,
+                Key::Slot(s) => slots[s as usize],
+            };
+            let idx = rel
+                .index(pos)
+                .expect("compiled plan evaluated against a database missing its indexes");
+            StepState {
+                cands: idx.lookup(k),
+                cursor: 0,
+                scan: false,
+                scan_end: 0,
+            }
+        }
+        Access::Scan => StepState {
+            cands: &[],
+            cursor: 0,
+            scan: true,
+            scan_end: rel.len(),
+        },
+    }
+}
+
+/// Advances `step` to its next matching candidate, binding fresh slots
+/// as a side effect. `false` when candidates (or the node budget) ran
+/// out.
+fn advance(
+    db: &Database,
+    step: &Step,
+    st: &mut StepState<'_>,
+    slots: &mut [Const],
+    nodes: &mut usize,
+    node_limit: usize,
+) -> bool {
+    let rel = db.relation(step.rel);
+    loop {
+        let id = if st.scan {
+            if st.cursor >= st.scan_end {
+                return false;
+            }
+            let id = st.cursor as TupleId;
+            st.cursor += 1;
+            id
+        } else {
+            match st.cands.get(st.cursor) {
+                Some(&id) => {
+                    st.cursor += 1;
+                    id
+                }
+                None => return false,
+            }
+        };
+        *nodes += 1;
+        if *nodes > node_limit {
+            return false;
+        }
+        let tuple = rel.tuple(id);
+        let mut ok = true;
+        for op in step.ops.iter() {
+            match *op {
+                Op::CheckConst { pos, val } => {
+                    if tuple[pos] != val {
+                        ok = false;
+                        break;
+                    }
+                }
+                Op::CheckSlot { pos, slot } => {
+                    if tuple[pos] != slots[slot as usize] {
+                        ok = false;
+                        break;
+                    }
+                }
+                Op::Bind { pos, slot } => slots[slot as usize] = tuple[pos],
+            }
+        }
+        if ok {
+            return true;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile::{compile_clause, CompileConfig, Declined};
+    use autobias::clause::{Clause, Literal, Term, VarId};
+    use autobias::example::Example;
+    use autobias::query::{clause_covers, QueryConfig};
+    use relstore::{Const, Database, RelId};
+
+    fn v(n: u32) -> Term {
+        Term::Var(VarId(n))
+    }
+
+    fn setup() -> (Database, RelId) {
+        let mut db = relstore::fixtures::uw_fragment();
+        let target = db.add_relation("advisedBy", &["stud", "prof"]);
+        db.build_indexes();
+        (db, target)
+    }
+
+    fn assert_agrees(db: &Database, clause: &Clause, examples: &[Example]) {
+        let plan = compile_clause(db, clause, &CompileConfig::default()).expect("compiles");
+        let qcfg = QueryConfig::default();
+        for e in examples {
+            assert_eq!(
+                plan.covers(db, &e.args),
+                clause_covers(db, clause, e, &qcfg),
+                "engines disagree on {}",
+                e.render(db)
+            );
+        }
+    }
+
+    #[test]
+    fn coauthorship_plan_matches_interpreter() {
+        let (db, target) = setup();
+        let publ = db.rel_id("publication").unwrap();
+        let clause = Clause::new(
+            Literal::new(target, vec![v(0), v(1)]),
+            vec![
+                Literal::new(publ, vec![v(2), v(0)]),
+                Literal::new(publ, vec![v(2), v(1)]),
+            ],
+        );
+        let juan = db.lookup("juan").unwrap();
+        let sarita = db.lookup("sarita").unwrap();
+        let mary = db.lookup("mary").unwrap();
+        let examples = vec![
+            Example::new(target, vec![juan, sarita]),
+            Example::new(target, vec![juan, mary]),
+            Example::new(target, vec![sarita, juan]),
+            Example::new(target, vec![juan, juan]),
+        ];
+        assert_agrees(&db, &clause, &examples);
+    }
+
+    #[test]
+    fn constants_repeated_vars_and_empty_bodies() {
+        let (db, target) = setup();
+        let in_phase = db.rel_id("inPhase").unwrap();
+        let post_quals = db.lookup("post_quals").unwrap();
+        let juan = db.lookup("juan").unwrap();
+        let sarita = db.lookup("sarita").unwrap();
+        let examples = vec![
+            Example::new(target, vec![juan, sarita]),
+            Example::new(target, vec![sarita, juan]),
+            Example::new(target, vec![juan, juan]),
+        ];
+        // Constant in the body.
+        assert_agrees(
+            &db,
+            &Clause::new(
+                Literal::new(target, vec![v(0), v(1)]),
+                vec![Literal::new(in_phase, vec![v(0), Term::Const(post_quals)])],
+            ),
+            &examples,
+        );
+        // Repeated head variable (head op CheckSlot path).
+        assert_agrees(
+            &db,
+            &Clause::new(Literal::new(target, vec![v(0), v(0)]), vec![]),
+            &examples,
+        );
+        // Head constant.
+        assert_agrees(
+            &db,
+            &Clause::new(Literal::new(target, vec![Term::Const(juan), v(1)]), vec![]),
+            &examples,
+        );
+        // Empty body covers everything with a matching head.
+        assert_agrees(
+            &db,
+            &Clause::new(Literal::new(target, vec![v(0), v(1)]), vec![]),
+            &examples,
+        );
+    }
+
+    #[test]
+    fn independent_components_refute_without_cross_backtracking() {
+        let (db, target) = setup();
+        let student = db.rel_id("student").unwrap();
+        let professor = db.rel_id("professor").unwrap();
+        let publ = db.rel_id("publication").unwrap();
+        let juan = db.lookup("juan").unwrap();
+        let sarita = db.lookup("sarita").unwrap();
+        // Body splits into two components: {publication(z,x),
+        // publication(z,y)} (linked by z) and the free-variable pair
+        // {student(w)} / {professor(u)} — each its own component.
+        let clause = Clause::new(
+            Literal::new(target, vec![v(0), v(1)]),
+            vec![
+                Literal::new(publ, vec![v(2), v(0)]),
+                Literal::new(publ, vec![v(2), v(1)]),
+                Literal::new(student, vec![v(3)]),
+                Literal::new(professor, vec![v(4)]),
+            ],
+        );
+        let plan = compile_clause(&db, &clause, &CompileConfig::default()).unwrap();
+        for variant in plan.variants.iter() {
+            let barriers: Vec<bool> = variant.steps.iter().map(|s| s.barrier).collect();
+            assert_eq!(barriers.iter().filter(|&&b| b).count(), 3, "{barriers:?}");
+        }
+        let examples = vec![
+            Example::new(target, vec![juan, sarita]),
+            Example::new(target, vec![sarita, juan]),
+        ];
+        assert_agrees(&db, &clause, &examples);
+    }
+
+    #[test]
+    fn unknown_constants_probe_to_empty() {
+        let (db, target) = setup();
+        // An ephemeral id beyond the dictionary behaves like any absent
+        // value: the probe finds an empty posting list.
+        let ghost = Const(999_999);
+        let publ = db.rel_id("publication").unwrap();
+        let clause = Clause::new(
+            Literal::new(target, vec![v(0), v(1)]),
+            vec![Literal::new(publ, vec![v(2), v(0)])],
+        );
+        let plan = compile_clause(&db, &clause, &CompileConfig::default()).unwrap();
+        assert!(!plan.covers(&db, &[ghost, ghost]));
+    }
+
+    #[test]
+    fn declines_oversized_and_mismatched_clauses() {
+        let (db, target) = setup();
+        let student = db.rel_id("student").unwrap();
+        let long_body: Vec<Literal> = (0..40).map(|_| Literal::new(student, vec![v(2)])).collect();
+        let too_long = Clause::new(Literal::new(target, vec![v(0), v(1)]), long_body);
+        assert!(matches!(
+            compile_clause(&db, &too_long, &CompileConfig::default()),
+            Err(Declined::TooManyLiterals(40))
+        ));
+
+        let bad_arity = Clause::new(
+            Literal::new(target, vec![v(0), v(1)]),
+            vec![Literal::new(student, vec![v(0), v(1)])],
+        );
+        assert!(matches!(
+            compile_clause(&db, &bad_arity, &CompileConfig::default()),
+            Err(Declined::ArityMismatch { .. })
+        ));
+
+        let tight = CompileConfig {
+            max_slots: 2,
+            ..CompileConfig::default()
+        };
+        let publ = db.rel_id("publication").unwrap();
+        let three_vars = Clause::new(
+            Literal::new(target, vec![v(0), v(1)]),
+            vec![Literal::new(publ, vec![v(2), v(0)])],
+        );
+        assert!(matches!(
+            compile_clause(&db, &three_vars, &tight),
+            Err(Declined::TooManyVariables(3))
+        ));
+    }
+
+    #[test]
+    fn node_budget_refuses_like_the_interpreter() {
+        let (db, target) = setup();
+        let publ = db.rel_id("publication").unwrap();
+        let clause = Clause::new(
+            Literal::new(target, vec![v(0), v(1)]),
+            vec![
+                Literal::new(publ, vec![v(2), v(0)]),
+                Literal::new(publ, vec![v(2), v(1)]),
+            ],
+        );
+        let starved = CompileConfig {
+            node_limit: 0,
+            ..CompileConfig::default()
+        };
+        let plan = compile_clause(&db, &clause, &starved).unwrap();
+        let juan = db.lookup("juan").unwrap();
+        let sarita = db.lookup("sarita").unwrap();
+        assert!(
+            !plan.covers(&db, &[juan, sarita]),
+            "budget exhaustion answers false"
+        );
+    }
+
+    #[test]
+    fn ordering_prefers_selective_probes() {
+        let (db, target) = setup();
+        let publ = db.rel_id("publication").unwrap();
+        let clause = Clause::new(
+            Literal::new(target, vec![v(0), v(1)]),
+            vec![
+                Literal::new(publ, vec![v(2), v(0)]),
+                Literal::new(publ, vec![v(2), v(1)]),
+            ],
+        );
+        let plan = compile_clause(&db, &clause, &CompileConfig::default()).unwrap();
+        let desc = plan.describe(&db);
+        assert!(
+            desc.contains("probe publication"),
+            "expected index probes, got:\n{desc}"
+        );
+        // Every step after the first within the component probes on the
+        // shared variable's slot, never scans.
+        assert!(!desc.contains("scan"), "no scans for indexed body:\n{desc}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Compiled evaluation plans for learned Horn definitions — the serve-side
+//! half of the paper's learn-once/serve-fast split.
+//!
+//! The interpreter in [`autobias::query`] re-derives everything per tuple:
+//! which literal to try next, which index to probe, whether each argument is
+//! bound — and allocates candidate lists at every backtracking node. That is
+//! the right trade-off during learning, where clauses are transient. A model
+//! that reached the registry is different: it will be evaluated millions of
+//! times against a frozen, fully indexed database, and the static verifier
+//! (`analyze`, findings AB101–AB110) has already guaranteed the structural
+//! invariants — head-connectedness and range restriction — that make a
+//! one-shot compilation sound without defensive re-checks.
+//!
+//! [`compile_definition`] turns each clause into a [`CompiledClause`]: an
+//! ordered pipeline of index-probe steps (literal order chosen greedily by
+//! estimated selectivity from relation cardinalities, in the spirit of
+//! `core::semijoin_tree`), with every bound/free argument decision resolved
+//! at compile time into a flat op list. Execution is a zero-allocation
+//! backtracking walk over `relstore`'s posting lists — see [`exec`].
+//!
+//! Compilation *declines* (rather than fails) on clauses outside the plan
+//! shape — too many literals or variables for the fixed-size runtime
+//! buffers, or arities out of sync with the catalog. Declined clauses are
+//! counted on [`PLAN_FALLBACK`] and served by the interpreter, so the
+//! compiled path is an optimization, never a semantics change. The
+//! differential suite in `tests/compiled_vs_interpreted.rs` holds the two
+//! engines equal on randomized worlds.
+//!
+//! Setting `AUTOBIAS_COMPILE=0` disables compilation globally ([`enabled`]),
+//! which is how the serve-level byte-identity tests drive both engines
+//! through the same HTTP surface.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
+pub mod compile;
+pub mod exec;
+
+pub use compile::{
+    compile_clause, compile_definition, CompileConfig, CompiledClause, CompiledDefinition, Declined,
+};
+pub use exec::ExecScratch;
+
+use obs::metrics::Counter;
+use std::sync::Once;
+
+/// Clauses compiled into evaluation plans at model load.
+pub static PLAN_COMPILED: Counter = Counter::new(
+    "autobias_plan_compiled_total",
+    "Clauses compiled into index-probe evaluation plans at model load.",
+);
+
+/// Clauses the compiler declined; the interpreter serves them.
+pub static PLAN_FALLBACK: Counter = Counter::new(
+    "autobias_plan_fallback_total",
+    "Clauses the plan compiler declined, served by the interpreter instead.",
+);
+
+/// Registers the plan counters with the [`obs::metrics`] registry so a
+/// `/metrics` scrape sees them even before the first model loads. Cheap and
+/// idempotent.
+pub fn register() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        obs::metrics::register(&PLAN_COMPILED);
+        obs::metrics::register(&PLAN_FALLBACK);
+    });
+}
+
+/// Whether plan compilation is enabled (`AUTOBIAS_COMPILE` unset or not
+/// `"0"`). Read per call, not cached, so differential tests can toggle the
+/// engines within one process.
+pub fn enabled() -> bool {
+    std::env::var("AUTOBIAS_COMPILE").map_or(true, |v| v != "0")
+}

@@ -1,8 +1,14 @@
 //! Tuple storage for a single relation, with per-attribute inverted indexes
 //! and the frequency statistics the Olken-style samplers need.
+//!
+//! Layout is chosen for probe-heavy workloads (compiled clause evaluation,
+//! serving): tuples live in one flat `Vec<Const>` with a fixed stride equal
+//! to the relation's arity, so `tuple(id)` is a slice into contiguous memory
+//! with no per-tuple heap indirection; postings are stored in a dense array
+//! indexed by the interned constant id, so an index probe is a bounds check
+//! plus one slice-header load instead of a hash computation and bucket walk.
 
 use crate::dict::Const;
-use crate::fxhash::FxHashMap;
 
 /// A tuple: one interned constant per attribute.
 pub type Tuple = Box<[Const]>;
@@ -13,21 +19,32 @@ pub type TupleId = u32;
 /// Inverted index for one attribute: value → ids of tuples holding it,
 /// plus the maximum per-value frequency (the `M_{R.B}` bound in the paper's
 /// §4.2.3 accept–reject sampler).
+///
+/// Postings are kept in a dense vector indexed by [`Const::index`]. Interned
+/// ids are dense per database, so the vector is at most dictionary-sized;
+/// ids outside the vector (including the ephemeral ids a `ConstResolver`
+/// hands out for constants absent from the data) simply resolve to an empty
+/// posting list. This trades a little memory on sparse attributes for an
+/// O(1) probe with no hashing — the single hottest operation in compiled
+/// clause evaluation.
 #[derive(Debug, Default, Clone)]
 pub struct AttrIndex {
-    postings: FxHashMap<Const, Vec<TupleId>>,
+    postings: Vec<Vec<TupleId>>,
+    distinct: usize,
     max_freq: usize,
 }
 
 impl AttrIndex {
     /// Tuple ids whose attribute equals `c` (empty slice if none).
+    #[inline]
     pub fn lookup(&self, c: Const) -> &[TupleId] {
-        self.postings.get(&c).map_or(&[], Vec::as_slice)
+        self.postings.get(c.index()).map_or(&[], Vec::as_slice)
     }
 
     /// Frequency `m(c)` of value `c` in this attribute.
+    #[inline]
     pub fn freq(&self, c: Const) -> usize {
-        self.postings.get(&c).map_or(0, Vec::len)
+        self.postings.get(c.index()).map_or(0, Vec::len)
     }
 
     /// Upper bound `M` on any value's frequency in this attribute.
@@ -37,16 +54,26 @@ impl AttrIndex {
 
     /// Number of distinct values in this attribute.
     pub fn distinct_count(&self) -> usize {
-        self.postings.len()
+        self.distinct
     }
 
-    /// Iterates over distinct values of this attribute.
+    /// Iterates over distinct values of this attribute, in id order.
     pub fn distinct_values(&self) -> impl Iterator<Item = Const> + '_ {
-        self.postings.keys().copied()
+        self.postings
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(i, _)| Const(i as u32))
     }
 
     fn insert(&mut self, c: Const, t: TupleId) {
-        let v = self.postings.entry(c).or_default();
+        if c.index() >= self.postings.len() {
+            self.postings.resize_with(c.index() + 1, Vec::new);
+        }
+        let v = &mut self.postings[c.index()];
+        if v.is_empty() {
+            self.distinct += 1;
+        }
         v.push(t);
         if v.len() > self.max_freq {
             self.max_freq = v.len();
@@ -58,7 +85,10 @@ impl AttrIndex {
 #[derive(Debug, Clone)]
 pub struct Relation {
     arity: usize,
-    tuples: Vec<Tuple>,
+    len: usize,
+    /// Flat arity-strided storage: tuple `id` occupies
+    /// `data[id * arity .. (id + 1) * arity]`.
+    data: Vec<Const>,
     /// `indexes[pos]` is `Some` once built via [`Relation::build_indexes`].
     indexes: Vec<Option<AttrIndex>>,
 }
@@ -68,7 +98,8 @@ impl Relation {
     pub fn new(arity: usize) -> Self {
         Self {
             arity,
-            tuples: Vec::new(),
+            len: 0,
+            data: Vec::new(),
             indexes: vec![None; arity],
         }
     }
@@ -80,12 +111,12 @@ impl Relation {
 
     /// Number of stored tuples.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// Whether the relation holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
     }
 
     /// Appends a tuple, returning its id. Duplicates are stored as given
@@ -96,28 +127,28 @@ impl Relation {
     /// Panics if the tuple arity does not match the relation's.
     pub fn insert(&mut self, tuple: Tuple) -> TupleId {
         assert_eq!(tuple.len(), self.arity, "tuple arity mismatch");
-        let id = self.tuples.len() as TupleId;
+        let id = self.len as TupleId;
         // Keep any already-built indexes coherent with the new tuple.
         for (pos, idx) in self.indexes.iter_mut().enumerate() {
             if let Some(idx) = idx {
                 idx.insert(tuple[pos], id);
             }
         }
-        self.tuples.push(tuple);
+        self.data.extend_from_slice(&tuple);
+        self.len += 1;
         id
     }
 
     /// The tuple with id `id`.
+    #[inline]
     pub fn tuple(&self, id: TupleId) -> &[Const] {
-        &self.tuples[id as usize]
+        let start = id as usize * self.arity;
+        &self.data[start..start + self.arity]
     }
 
     /// Iterates over `(TupleId, &tuple)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (TupleId, &[Const])> {
-        self.tuples
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (i as TupleId, t.as_ref()))
+        (0..self.len as TupleId).map(|id| (id, self.tuple(id)))
     }
 
     /// Builds the inverted index for attribute `pos` if not yet built.
@@ -126,8 +157,8 @@ impl Relation {
             return;
         }
         let mut idx = AttrIndex::default();
-        for (id, t) in self.tuples.iter().enumerate() {
-            idx.insert(t[pos], id as TupleId);
+        for id in 0..self.len as TupleId {
+            idx.insert(self.data[id as usize * self.arity + pos], id);
         }
         self.indexes[pos] = Some(idx);
     }
@@ -157,12 +188,31 @@ impl Relation {
         }
     }
 
+    /// Estimated number of tuples matching an equality on attribute `pos`:
+    /// the exact posting length when the probe value is known, the average
+    /// posting length (`len / distinct`) when the value is only known to be
+    /// bound at runtime, and `None` when the attribute has no index (a probe
+    /// is impossible; callers fall back to a scan costed at [`Self::len`]).
+    /// Query planners use this to order joins by selectivity.
+    pub fn estimated_matches(&self, pos: usize, value: Option<Const>) -> Option<usize> {
+        let idx = self.index(pos)?;
+        Some(match value {
+            Some(c) => idx.freq(c),
+            None => {
+                let distinct = idx.distinct_count().max(1);
+                self.len().div_ceil(distinct)
+            }
+        })
+    }
+
     /// Distinct values of attribute `pos` (index-backed when available).
     pub fn distinct(&self, pos: usize) -> Vec<Const> {
         match self.index(pos) {
             Some(idx) => idx.distinct_values().collect(),
             None => {
-                let mut set: Vec<Const> = self.tuples.iter().map(|t| t[pos]).collect();
+                let mut set: Vec<Const> = (0..self.len)
+                    .map(|id| self.data[id * self.arity + pos])
+                    .collect();
                 set.sort_unstable();
                 set.dedup();
                 set
@@ -227,6 +277,20 @@ mod tests {
         assert_eq!(idx.freq(Const(5)), 2);
         assert_eq!(idx.freq(Const(6)), 1);
         assert_eq!(idx.max_freq(), 2);
+        assert_eq!(idx.distinct_count(), 2);
+    }
+
+    #[test]
+    fn lookup_beyond_seen_ids_is_empty() {
+        // Ephemeral resolver ids land past every interned id; probes with
+        // them must behave as "no matching tuples", not panic.
+        let mut r = Relation::new(1);
+        r.insert(t(&[2]));
+        r.build_index(0);
+        let idx = r.index(0).unwrap();
+        assert_eq!(idx.lookup(Const(1_000_000)), &[] as &[TupleId]);
+        assert_eq!(idx.freq(Const(1_000_000)), 0);
+        assert_eq!(r.select_eq(0, Const(1_000_000)), Vec::<TupleId>::new());
     }
 
     #[test]
@@ -238,6 +302,31 @@ mod tests {
         let mut d = r.distinct(0);
         d.sort_unstable();
         assert_eq!(d, vec![Const(1), Const(2), Const(3)]);
+        r.build_index(0);
+        assert_eq!(r.distinct(0), vec![Const(1), Const(2), Const(3)]);
+    }
+
+    #[test]
+    fn estimated_matches_for_planning() {
+        let mut r = Relation::new(2);
+        r.insert(t(&[1, 2]));
+        r.insert(t(&[1, 3]));
+        r.insert(t(&[4, 2]));
+        assert_eq!(r.estimated_matches(0, Some(Const(1))), None, "no index yet");
+        r.build_index(0);
+        assert_eq!(
+            r.estimated_matches(0, Some(Const(1))),
+            Some(2),
+            "exact freq"
+        );
+        assert_eq!(
+            r.estimated_matches(0, Some(Const(9))),
+            Some(0),
+            "absent value"
+        );
+        // Unknown probe value: average posting length, rounded up (3/2 → 2).
+        assert_eq!(r.estimated_matches(0, None), Some(2));
+        assert_eq!(r.estimated_matches(1, None), None, "other attr unindexed");
     }
 
     #[test]

@@ -1,20 +1,28 @@
-//! A deliberately small HTTP/1.1 layer: enough to parse one request from a
-//! `TcpStream` and write one response, nothing more. The server speaks
-//! `Connection: close` (one request per connection); responses are either a
-//! fixed `Content-Length` body or — for the live event stream — a
+//! A deliberately small HTTP/1.1 layer: enough to parse requests from a
+//! `TcpStream` and write responses, nothing more. Connections are
+//! persistent by default (HTTP/1.1 keep-alive semantics, honoring the
+//! `Connection` header, with at most [`MAX_REQUESTS_PER_CONN`] requests per
+//! connection); the server reads successive requests through one
+//! per-connection `BufReader` via [`read_request_from`] so bytes buffered
+//! past a request boundary are not lost. Responses are either a fixed
+//! `Content-Length` body or — for the live event stream — a
 //! `Transfer-Encoding: chunked` sequence written incrementally
 //! ([`write_stream_head`] / [`write_chunk`] / [`finish_chunked`], with the
-//! client-side [`ChunkedReader`] used by `autobias jobs watch`). This keeps
-//! the whole protocol auditable and dependency-free — the same idiom as the
-//! rest of the workspace.
+//! client-side [`ChunkedReader`] used by `autobias jobs watch`; streams
+//! always end with connection close). This keeps the whole protocol
+//! auditable and dependency-free — the same idiom as the rest of the
+//! workspace.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::TcpStream;
 
 /// Largest accepted header block.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
 /// Largest accepted request body.
 pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+/// Requests served on one keep-alive connection before the server closes it
+/// anyway — bounds how long a single client can pin a worker thread.
+pub const MAX_REQUESTS_PER_CONN: usize = 1024;
 
 /// One parsed request.
 #[derive(Debug)]
@@ -25,6 +33,10 @@ pub struct Request {
     pub path: String,
     /// Decoded body (empty when absent).
     pub body: String,
+    /// Whether the client allows reusing the connection: HTTP/1.1 default
+    /// unless `Connection: close`; HTTP/1.0 only with
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 /// Protocol-level failures while reading a request.
@@ -51,9 +63,18 @@ impl std::fmt::Display for HttpError {
     }
 }
 
-/// Reads one request from `stream`.
+/// Reads one request from `stream`. One-shot convenience (tests, simple
+/// clients): the internal buffer dies with the call, so use
+/// [`read_request_from`] with a persistent `BufReader` when more requests
+/// may follow on the same connection.
 pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let mut reader = BufReader::new(stream);
+    read_request_from(&mut reader)
+}
+
+/// Reads one request from a persistent buffered reader — the keep-alive
+/// form. `Err(Io(UnexpectedEof))` on a cleanly closed idle connection.
+pub fn read_request_from(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     let mut head = String::new();
     let mut line = String::new();
 
@@ -62,6 +83,11 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         line.clear();
         let n = reader.read_line(&mut line)?;
         if n == 0 {
+            if head.is_empty() {
+                // Clean close between keep-alive requests: an i/o-level end
+                // of stream, not a malformed request.
+                return Err(HttpError::Io(io::Error::from(io::ErrorKind::UnexpectedEof)));
+            }
             return Err(HttpError::Bad("connection closed mid-headers".into()));
         }
         head.push_str(&line);
@@ -86,6 +112,11 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
         .next()
         .ok_or_else(|| HttpError::Bad("missing request target".into()))?;
     let path = target.split('?').next().unwrap_or(target).to_string();
+    // HTTP/1.1 (and anything newer/absent) defaults to persistent
+    // connections; HTTP/1.0 defaults to close.
+    let mut keep_alive = !parts
+        .next()
+        .is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.0"));
 
     let mut content_length = 0usize;
     for h in lines {
@@ -98,6 +129,13 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
                     .trim()
                     .parse()
                     .map_err(|_| HttpError::Bad("unparsable Content-Length".into()))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                let value = value.trim();
+                if value.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if value.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
@@ -112,7 +150,12 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let body = String::from_utf8(body_bytes)
         .map_err(|_| HttpError::Bad("body is not valid UTF-8".into()))?;
 
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
 }
 
 /// Writes one `text/plain` response and flushes.
@@ -126,7 +169,8 @@ pub fn write_response(
 }
 
 /// Writes one response with an explicit content type and flushes — the
-/// JSON-producing routes (model upload diagnostics) use this.
+/// JSON-producing routes (model upload diagnostics) use this. Always closes
+/// the connection; the server's request loop uses [`write_response_conn`].
 pub fn write_response_typed(
     stream: &mut TcpStream,
     status: u16,
@@ -134,16 +178,34 @@ pub fn write_response_typed(
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
-    let head = format!(
+    write_response_conn(stream, status, reason, content_type, body, false)
+}
+
+/// Writes one response, advertising whether the server will keep the
+/// connection open for another request (`Connection: keep-alive`) or close
+/// it after this response (`Connection: close`).
+pub fn write_response_conn(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    // Head and body go out in one write: a split write puts the tiny head
+    // packet on the wire alone, and Nagle then holds the body back until the
+    // client ACKs it — up to 40 ms per response under delayed ACK.
+    let mut response = format!(
         "HTTP/1.1 {status} {reason}\r\n\
          Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
-         Connection: close\r\n\
+         Connection: {connection}\r\n\
          \r\n",
         body.len()
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    response.push_str(body);
+    stream.write_all(response.as_bytes())?;
     stream.flush()
 }
 
@@ -270,6 +332,7 @@ impl<R: BufRead> ChunkedReader<R> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Read;
     use std::net::TcpListener;
     use std::thread;
 
@@ -313,6 +376,56 @@ mod tests {
     fn strips_query_string_from_path() {
         let req = roundtrip("GET /models?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(req.path, "/models");
+    }
+
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        // HTTP/1.1 defaults to persistent.
+        let req = roundtrip("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+        // ... unless the client asks to close.
+        let req = roundtrip("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        // HTTP/1.0 defaults to close ...
+        let req = roundtrip("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!req.keep_alive);
+        // ... unless the client opts in.
+        let req = roundtrip("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn persistent_reader_parses_back_to_back_requests() {
+        let wire = b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhiGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = std::io::BufReader::new(&wire[..]);
+        let first = read_request_from(&mut reader).unwrap();
+        assert_eq!((first.path.as_str(), first.body.as_str()), ("/a", "hi"));
+        let second = read_request_from(&mut reader).unwrap();
+        assert_eq!(second.path, "/b");
+        assert!(second.body.is_empty());
+        // Clean close between requests surfaces as an i/o EOF, not Bad.
+        match read_request_from(&mut reader).unwrap_err() {
+            HttpError::Io(e) => assert_eq!(e.kind(), io::ErrorKind::UnexpectedEof),
+            HttpError::Bad(m) => panic!("expected Io(UnexpectedEof), got Bad({m})"),
+        }
+    }
+
+    #[test]
+    fn response_writer_advertises_connection_disposition() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            write_response_conn(&mut conn, 200, "OK", "text/plain", "ok", true).unwrap();
+        });
+        let s = TcpStream::connect(addr).unwrap();
+        let mut r = std::io::BufReader::new(s);
+        let (status, headers) = read_response_head(&mut r).unwrap();
+        assert_eq!(status, 200);
+        assert!(headers
+            .iter()
+            .any(|(n, v)| n == "connection" && v == "keep-alive"));
+        server.join().unwrap();
     }
 
     #[test]

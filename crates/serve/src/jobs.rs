@@ -496,12 +496,6 @@ fn run_learn(
     };
     let (def, stats) =
         Learner::new(cfg).learn_with_progress(&ds.db, &bias, &train, &job.cancel, &sink);
-    if let Some(ledger) = ledger {
-        let json = report.finish().to_json();
-        if let Err(e) = ledger.archive(job.id, &json) {
-            obs::warn!("archiving run report for job {}: {e}", job.id);
-        }
-    }
 
     // Learned models are verified observationally (warnings logged, never
     // rejected): the learner's own invariants make Error findings a bug, and
@@ -525,12 +519,21 @@ fn run_learn(
     // Persist before registering so a restart reloads the same model; a
     // cancelled job's partial definition is still a valid (weaker) model.
     std::fs::write(&path, format!("{text}\n")).map_err(|e| format!("{}: {e}", path.display()))?;
-    registry.insert(ModelEntry {
-        name: job.model_name.clone(),
-        definition: def,
-        unknown_constants: vec![],
-        source: Some(path),
-    });
+    // Compile-at-insert happens before the report is finished, so the
+    // `plan.compile` span shows up in the archived run's phase table.
+    registry.insert(ModelEntry::new(
+        &ds.db,
+        job.model_name.clone(),
+        def,
+        vec![],
+        Some(path),
+    ));
+    if let Some(ledger) = ledger {
+        let json = report.finish().to_json();
+        if let Err(e) = ledger.archive(job.id, &json) {
+            obs::warn!("archiving run report for job {}: {e}", job.id);
+        }
+    }
 
     let state = if stats.cancelled {
         JobState::Cancelled

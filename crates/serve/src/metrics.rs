@@ -29,6 +29,32 @@ pub static MODEL_REJECTIONS: obs::metrics::Counter = obs::metrics::Counter::new(
     "Models rejected by the static verifier at upload or load time.",
 );
 
+/// TCP connections accepted by the server.
+pub static HTTP_CONNECTIONS: obs::metrics::Counter = obs::metrics::Counter::new(
+    "autobias_http_connections_total",
+    "TCP connections accepted by the HTTP server.",
+);
+
+/// Requests served on an already-open keep-alive connection — each bump is
+/// one request that skipped a TCP handshake.
+pub static KEEPALIVE_REUSES: obs::metrics::Counter = obs::metrics::Counter::new(
+    "autobias_http_keepalive_reuses_total",
+    "Requests served on a reused keep-alive connection (after the first on each connection).",
+);
+
+/// Tuples classified by `POST /predict`, over both evaluation paths.
+pub static PREDICT_TUPLES: obs::metrics::Counter = obs::metrics::Counter::new(
+    "autobias_predict_tuples_total",
+    "Tuples classified by POST /predict (compiled and interpreted paths).",
+);
+
+/// Tuples that went through the clause interpreter instead of a compiled
+/// plan — because compilation is disabled, or a clause was declined.
+pub static PREDICT_INTERPRETED_TUPLES: obs::metrics::Counter = obs::metrics::Counter::new(
+    "autobias_predict_interpreted_tuples_total",
+    "Predict tuple evaluations that used the interpreter (compilation off or clause declined).",
+);
+
 /// The endpoints we track. `Other` buckets everything unrecognized so the
 /// label set stays bounded no matter what clients send.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -302,7 +328,12 @@ fn render_phase_histograms(out: &mut String) {
 fn render_registered_counters(out: &mut String) {
     autobias::instrument::register();
     analyze::register();
+    plan::register();
     obs::metrics::register(&MODEL_REJECTIONS);
+    obs::metrics::register(&HTTP_CONNECTIONS);
+    obs::metrics::register(&KEEPALIVE_REUSES);
+    obs::metrics::register(&PREDICT_TUPLES);
+    obs::metrics::register(&PREDICT_INTERPRETED_TUPLES);
     for c in obs::metrics::registered() {
         out.push_str(&format!(
             "# HELP {} {}\n# TYPE {} counter\n{} {}\n",
@@ -350,6 +381,14 @@ mod tests {
         assert!(text.contains("autobias_core_candidates_deduped_total"));
         assert!(text.contains("autobias_phase_duration_seconds"));
         assert!(text.contains("autobias_trace_dropped_events_total"));
+        // Serving-path counters: keep-alive reuse and the compiled-plan
+        // split of predict traffic are visible from the very first scrape.
+        assert!(text.contains("autobias_http_connections_total"));
+        assert!(text.contains("autobias_http_keepalive_reuses_total"));
+        assert!(text.contains("autobias_predict_tuples_total"));
+        assert!(text.contains("autobias_predict_interpreted_tuples_total"));
+        assert!(text.contains("autobias_plan_compiled_total"));
+        assert!(text.contains("autobias_plan_fallback_total"));
     }
 
     #[test]

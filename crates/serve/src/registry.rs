@@ -29,6 +29,47 @@ pub struct ModelEntry {
     pub unknown_constants: Vec<String>,
     /// Source path, when the model came from a file.
     pub source: Option<PathBuf>,
+    /// Evaluation plans compiled at load time ([`plan::compile_definition`]);
+    /// `None` when compilation is disabled (`AUTOBIAS_COMPILE=0`). Predict
+    /// requests evaluate compiled clauses through the plans and any declined
+    /// clauses through the interpreter.
+    pub plan: Option<plan::CompiledDefinition>,
+}
+
+impl ModelEntry {
+    /// Builds an entry, compiling the definition into evaluation plans
+    /// against `db` (the database requests will be answered from). Every
+    /// load path — directory scan, upload, learn-job completion — goes
+    /// through here, so a model is compiled exactly once per load, under
+    /// the `plan.compile` span.
+    pub fn new(
+        db: &Database,
+        name: String,
+        definition: Definition,
+        unknown_constants: Vec<String>,
+        source: Option<PathBuf>,
+    ) -> Self {
+        let compiled = if plan::enabled() {
+            let mut sp = obs::span!("plan.compile");
+            let compiled =
+                plan::compile_definition(db, &definition, &plan::CompileConfig::default());
+            sp.note("compiled", compiled.num_compiled() as u64);
+            sp.note("declined", compiled.num_declined() as u64);
+            for (i, why) in compiled.declined() {
+                obs::warn!("model {name}: clause {i} declined by plan compiler ({why}), interpreter fallback");
+            }
+            Some(compiled)
+        } else {
+            None
+        };
+        Self {
+            name,
+            definition,
+            unknown_constants,
+            source,
+            plan: compiled,
+        }
+    }
 }
 
 /// Outcome of one directory scan.
@@ -118,12 +159,13 @@ impl ModelRegistry {
                     }
                     next.insert(
                         stem.to_string(),
-                        Arc::new(ModelEntry {
-                            name: stem.to_string(),
+                        Arc::new(ModelEntry::new(
+                            db,
+                            stem.to_string(),
                             definition,
                             unknown_constants,
-                            source: Some(path.clone()),
-                        }),
+                            Some(path.clone()),
+                        )),
                     );
                 }
                 Err(e) => report.errors.push((fname, e.to_string())),
@@ -226,14 +268,33 @@ mod tests {
         let db = test_db();
         let dir = temp_dir("insert");
         let (reg, _) = ModelRegistry::open(&db, &dir).unwrap();
-        reg.insert(ModelEntry {
-            name: "m1".into(),
-            definition: Definition::new(),
-            unknown_constants: vec![],
-            source: None,
-        });
+        reg.insert(ModelEntry::new(
+            &db,
+            "m1".into(),
+            Definition::new(),
+            vec![],
+            None,
+        ));
         assert_eq!(reg.len(), 1);
         assert_eq!(reg.list()[0].name, "m1");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loaded_models_carry_compiled_plans() {
+        let db = test_db();
+        let dir = temp_dir("plans");
+        std::fs::write(
+            dir.join("coauthor.model"),
+            "advisedBy(x, y) ← publication(z, x), publication(z, y)\n",
+        )
+        .unwrap();
+        let (reg, report) = ModelRegistry::open(&db, &dir).unwrap();
+        assert_eq!(report.loaded, vec!["coauthor"]);
+        let entry = reg.get("coauthor").unwrap();
+        let compiled = entry.plan.as_ref().expect("compilation on by default");
+        assert_eq!(compiled.num_compiled(), 1);
+        assert!(compiled.is_fully_compiled());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

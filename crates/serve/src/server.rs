@@ -11,19 +11,20 @@
 //! connections finish, job threads are cancelled and joined.
 
 use crate::http::{
-    finish_chunked, read_request, write_chunk, write_response, write_response_typed,
-    write_stream_head, HttpError, Request,
+    finish_chunked, read_request_from, write_chunk, write_response, write_response_conn,
+    write_stream_head, HttpError, Request, MAX_REQUESTS_PER_CONN,
 };
 use crate::jobs::{JobManager, JobSpec};
 use crate::ledger::RunLedger;
 use crate::metrics::{Endpoint, GaugeSample, Metrics};
 use crate::pool::WorkerPool;
-use crate::registry::ModelRegistry;
-use autobias::example::{parse_arg_tuple, Example};
-use autobias::query::{definition_covers, QueryConfig};
+use crate::registry::{ModelEntry, ModelRegistry};
+use autobias::example::parse_arg_tuple;
+use autobias::query::{clause_covers_args, definition_covers_args, EvalScratch, QueryConfig};
 use datasets::io::load_dataset;
 use datasets::Dataset;
 use relstore::ConstResolver;
+use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -157,25 +158,64 @@ pub fn serve(cfg: &ServeConfig) -> Result<(ServerHandle, crate::registry::Reload
 }
 
 fn handle_connection(state: &Arc<AppState>, mut conn: TcpStream) {
+    crate::metrics::HTTP_CONNECTIONS.bump();
+    // The read timeout doubles as the keep-alive idle timeout: a connection
+    // with no next request for 10s times out and is closed.
     let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
-    let t0 = Instant::now();
-    let req = match read_request(&mut conn) {
-        Ok(r) => r,
-        Err(HttpError::Bad(m)) => {
-            state.metrics.observe(Endpoint::Other, t0.elapsed(), true);
-            let _ = write_response(&mut conn, 400, "Bad Request", &format!("{m}\n"));
+    // Request/response traffic is latency-bound: never let Nagle hold a
+    // response back waiting for a client ACK.
+    let _ = conn.set_nodelay(true);
+    // Requests are read through one persistent buffered reader (a cloned
+    // handle of the same socket) so bytes buffered past a request boundary
+    // — the start of a pipelined next request — are not lost between
+    // iterations; responses are written to the original handle.
+    let Ok(read_half) = conn.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut served = 0usize;
+    loop {
+        let t_read = Instant::now();
+        let req = match read_request_from(&mut reader) {
+            Ok(r) => r,
+            Err(HttpError::Bad(m)) => {
+                state
+                    .metrics
+                    .observe(Endpoint::Other, t_read.elapsed(), true);
+                let _ = write_response(&mut conn, 400, "Bad Request", &format!("{m}\n"));
+                return;
+            }
+            // Client went away, or an idle keep-alive connection timed out
+            // or closed cleanly between requests; nothing to say.
+            Err(HttpError::Io(_)) => return,
+        };
+        // Latency clock starts once the request is fully read: time a
+        // keep-alive connection spends idle between requests is the
+        // client's, not ours.
+        let t0 = Instant::now();
+        if served > 0 {
+            crate::metrics::KEEPALIVE_REUSES.bump();
+        }
+        served += 1;
+        if req.method == "GET" && req.path.starts_with("/jobs/") && req.path.ends_with("/events") {
+            // The SSE stream owns the connection until it ends, and always
+            // closes (its chunked response advertises `Connection: close`).
+            return handle_events_stream(state, &mut conn, &req, t0);
+        }
+        let r = route(state, &req);
+        let keep = req.keep_alive
+            && served < MAX_REQUESTS_PER_CONN
+            && r.endpoint != Endpoint::Shutdown
+            && !state.shutting_down.load(Ordering::SeqCst);
+        state
+            .metrics
+            .observe(r.endpoint, t0.elapsed(), r.status >= 400);
+        let wrote =
+            write_response_conn(&mut conn, r.status, r.reason, r.content_type, &r.body, keep);
+        if wrote.is_err() || !keep {
             return;
         }
-        Err(HttpError::Io(_)) => return, // client went away; nothing to say
-    };
-    if req.method == "GET" && req.path.starts_with("/jobs/") && req.path.ends_with("/events") {
-        return handle_events_stream(state, &mut conn, &req, t0);
     }
-    let r = route(state, &req);
-    state
-        .metrics
-        .observe(r.endpoint, t0.elapsed(), r.status >= 400);
-    let _ = write_response_typed(&mut conn, r.status, r.reason, r.content_type, &r.body);
 }
 
 /// A routed response. Most routes speak `text/plain`; the model-upload
@@ -367,12 +407,13 @@ fn handle_model_upload(state: &Arc<AppState>, name: &str, body: &str) -> Routed 
         );
     }
     let clauses = definition.clauses.len();
-    state.registry.insert(crate::registry::ModelEntry {
-        name: name.to_string(),
+    state.registry.insert(ModelEntry::new(
+        &state.ds.db,
+        name.to_string(),
         definition,
         unknown_constants,
-        source: Some(path),
-    });
+        Some(path),
+    ));
     obs::info!("model {name} uploaded ({clauses} clause(s))");
     Routed::json(
         Endpoint::Models,
@@ -597,6 +638,13 @@ fn render_job(job: &crate::jobs::Job) -> String {
 /// `POST /predict` body: a `model NAME` line, then one comma-separated tuple
 /// per line. The response has one `TUPLE\tpositive|negative` line per input
 /// tuple, in order.
+///
+/// The whole batch is parsed up front into one flat constants buffer, then
+/// evaluated in one pass: through the model's compiled plans when it has
+/// them (declined clauses fall back to the interpreter per tuple), else
+/// entirely through the interpreter with scratch buffers reused across
+/// tuples. Both paths produce byte-identical responses — the differential
+/// suite holds them to that.
 fn handle_predict(
     state: &Arc<AppState>,
     body: &str,
@@ -642,9 +690,11 @@ fn handle_predict(
         .map(|c| c.head.rel)
         .unwrap_or(state.ds.target);
     let arity = db.catalog().schema(rel).arity();
-    let qcfg = QueryConfig::default();
 
-    let mut out = String::new();
+    // Parse the batch: echo strings per tuple plus one flat `Const` buffer
+    // with stride `arity` (no per-tuple allocation on the eval path).
+    let mut echo: Vec<String> = Vec::new();
+    let mut consts: Vec<relstore::Const> = Vec::new();
     for (i, line) in lines.enumerate() {
         let fields = parse_arg_tuple(line)
             .map_err(|e| (400, "Bad Request", format!("tuple {}: {e}\n", i + 1)))?;
@@ -659,20 +709,69 @@ fn handle_predict(
                 ),
             ));
         }
-        let consts: Vec<relstore::Const> = fields.iter().map(|f| resolver.resolve(f)).collect();
-        let example = Example::new(rel, consts);
-        let covered = definition_covers(db, &entry.definition, &example, &qcfg);
-        out.push_str(&format!(
-            "{}\t{}\n",
-            fields.join(","),
-            if covered { "positive" } else { "negative" }
-        ));
+        consts.extend(fields.iter().map(|f| resolver.resolve(f)));
+        echo.push(fields.join(","));
     }
-    if out.is_empty() {
+    if echo.is_empty() {
         return Err((
             400,
             "Bad Request",
             "no tuples: expected one CSV tuple per line after `model NAME`\n".to_string(),
+        ));
+    }
+
+    let qcfg = QueryConfig::default();
+    let mut verdicts = vec![false; echo.len()];
+    // `plan.enabled()` is consulted at request time too, so flipping
+    // `AUTOBIAS_COMPILE=0` exercises the interpreted path even against a
+    // registry entry that was compiled at load.
+    let compiled = entry.plan.as_ref().filter(|_| plan::enabled());
+    crate::metrics::PREDICT_TUPLES.add(echo.len() as u64);
+    if let Some(plans) = compiled {
+        let mut sp = obs::span!("predict.compiled_batch");
+        let mut scratch = EvalScratch::default();
+        let mut exec = plan::ExecScratch::default();
+        let mut interpreted = 0u64;
+        for (t, verdict) in verdicts.iter_mut().enumerate() {
+            let args = &consts[t * arity..(t + 1) * arity];
+            let mut covered = plans.covers_compiled_with(db, args, &mut exec);
+            // Clauses the compiler declined still participate in the
+            // definition's disjunction — interpret them for tuples no
+            // compiled clause covered.
+            if !covered && !plans.is_fully_compiled() {
+                interpreted += 1;
+                covered = plans.declined().iter().any(|&(i, _)| {
+                    clause_covers_args(
+                        db,
+                        &entry.definition.clauses[i],
+                        rel,
+                        args,
+                        &qcfg,
+                        &mut scratch,
+                    )
+                });
+            }
+            *verdict = covered;
+        }
+        sp.note("tuples", echo.len() as u64);
+        crate::metrics::PREDICT_INTERPRETED_TUPLES.add(interpreted);
+    } else {
+        let mut sp = obs::span!("predict.interpreted_batch");
+        let mut scratch = EvalScratch::default();
+        for (t, verdict) in verdicts.iter_mut().enumerate() {
+            let args = &consts[t * arity..(t + 1) * arity];
+            *verdict =
+                definition_covers_args(db, &entry.definition, rel, args, &qcfg, &mut scratch);
+        }
+        sp.note("tuples", echo.len() as u64);
+        crate::metrics::PREDICT_INTERPRETED_TUPLES.add(echo.len() as u64);
+    }
+
+    let mut out = String::with_capacity(echo.len() * 24);
+    for (fields, covered) in echo.iter().zip(&verdicts) {
+        out.push_str(&format!(
+            "{fields}\t{}\n",
+            if *covered { "positive" } else { "negative" }
         ));
     }
     Ok(out)
