@@ -333,6 +333,11 @@ fn main() -> ExitCode {
     let plan_compiled = metrics_sample(&metrics, "autobias_plan_compiled_total");
     let keepalive_reuses = metrics_sample(&metrics, "autobias_http_keepalive_reuses_total");
     let predict_tuples = metrics_sample(&metrics, "autobias_predict_tuples_total");
+    // Plan-observability counters: q-error observations prove the per-op
+    // stats pipeline stayed engaged under load; variant selections only move
+    // on multi-variant plans, so they are recorded but not gated.
+    let qerror_observations = metrics_sample(&metrics, "autobias_plan_estimate_qerror_count");
+    let variant_selections = metrics_sample(&metrics, "autobias_plan_variant_selections_total");
     let (status, _) = oneshot(addr, "POST", "/shutdown", "");
     assert_eq!(status, 200);
     handle.join();
@@ -380,7 +385,17 @@ fn main() -> ExitCode {
     .unwrap();
     writeln!(
         json,
-        "        \"autobias_predict_tuples_total\": {predict_tuples}"
+        "        \"autobias_predict_tuples_total\": {predict_tuples},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "        \"autobias_plan_estimate_qerror_count\": {qerror_observations},"
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "        \"autobias_plan_variant_selections_total\": {variant_selections}"
     )
     .unwrap();
     writeln!(json, "      }}").unwrap();

@@ -30,10 +30,14 @@ use obs::json::Json;
 /// Counters gated by [`compare`]: positive in the baseline ⇒ must stay
 /// positive in the fresh run. Deliberately a "still engaged" check, not a
 /// ratio — counter magnitudes shift with legitimate search-order changes.
-const GATED_COUNTERS: [&str; 3] = [
+const GATED_COUNTERS: [&str; 4] = [
     "autobias_core_coverage_cache_hits_total",
     "autobias_plan_compiled_total",
     "autobias_http_keepalive_reuses_total",
+    // A baseline that observed per-operator q-errors means the plan-stats
+    // pipeline was on; a fresh run where it reads zero has silently lost
+    // EXPLAIN ANALYZE (and the estimate-accuracy feedback loop with it).
+    "autobias_plan_estimate_qerror_count",
 ];
 
 /// Serving-benchmark throughput metrics (`BENCH_serve_*.json`): a fresh
@@ -407,6 +411,40 @@ mod tests {
         .unwrap();
         assert!(out.passed());
         assert_eq!(out.checks, 2); // time + quality only
+    }
+
+    #[test]
+    fn silently_disabled_plan_stats_fail_the_qerror_gate() {
+        let doc = |observations: u64| {
+            Json::parse(&format!(
+                r#"{{"dataset": "UW", "methods": {{
+                    "http": {{
+                        "achieved_rps": 900.0, "phases": {{}},
+                        "counters": {{
+                            "autobias_plan_estimate_qerror_count": {observations},
+                            "autobias_plan_variant_selections_total": 0
+                        }}
+                    }}
+                }}}}"#
+            ))
+            .unwrap()
+        };
+        let base = doc(480);
+        // Any positive observation count passes — magnitudes track traffic.
+        assert!(compare(&base, &doc(7), &CompareConfig::default())
+            .unwrap()
+            .passed());
+        // Zero means AUTOBIAS_PLAN_STATS was (accidentally) off under load.
+        let out = compare(&base, &doc(0), &CompareConfig::default()).unwrap();
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(
+            out.regressions[0].what,
+            "counter:autobias_plan_estimate_qerror_count"
+        );
+        // Variant selections are recorded but never gated: a single-variant
+        // plan legitimately reads zero.
+        let out = compare(&doc(0), &doc(0), &CompareConfig::default()).unwrap();
+        assert!(out.passed());
     }
 
     fn serve_doc(pps: f64, speedup: f64, p99: f64) -> Json {

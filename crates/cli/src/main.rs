@@ -50,6 +50,7 @@ fn main() -> ExitCode {
         "learn" => cmd_learn(&args).map(done),
         "eval" => cmd_eval(&args).map(done),
         "predict" => cmd_predict(&args).map(done),
+        "explain" => cmd_explain(&args).map(done),
         "check" => cmd_check(&args),
         "serve" => cmd_serve(&args).map(done),
         "jobs" => cmd_jobs(&args).map(done),
@@ -91,6 +92,7 @@ USAGE:
                    [--trace-out FILE] [--profile] [--report-out FILE]
   autobias eval    --data DIR --model FILE
   autobias predict --data DIR --model FILE --args \"v1,v2\"
+  autobias explain --data DIR --model FILE [--json]
   autobias check   --data DIR (--bias FILE | --model FILE [--bias auto|manual|FILE])
                    [--format text|json]
   autobias serve   --data DIR --models DIR [--addr HOST:PORT] [--threads N]
@@ -103,7 +105,11 @@ check: static verification (lints AB0xx/AB1xx); exits non-zero on Error
        graph; --model lints a learned theory (add --bias for mode checks).
 learn: --trace-out writes a chrome-trace JSON (open in ui.perfetto.dev);
        --profile prints per-phase wall-clock and counter tables to stderr;
-       --report-out writes a structured JSON run report (schema v1).
+       --report-out writes a structured JSON run report (schema v2).
+explain: renders the compiled evaluation plan per clause — access paths,
+       probe keys, residual checks, cost estimates, and declined clauses
+       with reasons. --json emits the same versioned document served by
+       GET /models/{name}/plan.
 jobs watch: streams a running server's learning-job progress events (SSE).";
 
 /// Applies `--log-level` (which wins over the `AUTOBIAS_LOG` environment
@@ -351,6 +357,17 @@ fn cmd_learn(args: &Args) -> Result<(), String> {
         for (i, why) in compiled.declined() {
             obs::warn!("clause {i} declined by plan compiler ({why}); will serve interpreted");
         }
+        if let Some(builder) = report.as_ref() {
+            builder.set_plan(obs::PlanReport {
+                compiled_clauses: compiled.num_compiled(),
+                fallback_clauses: compiled.num_declined(),
+                declined: compiled
+                    .declined()
+                    .iter()
+                    .map(|(i, why)| format!("clause {i}: {why}"))
+                    .collect(),
+            });
+        }
     }
     let text = def.render(&ds.db);
     match args.get_str("--out") {
@@ -495,6 +512,31 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
         example.render(&ds.db),
         if covered { "POSITIVE" } else { "negative" }
     );
+    Ok(())
+}
+
+/// `autobias explain`: EXPLAIN for a model file — how each clause would be
+/// evaluated at serving time. Compiles the definition exactly the way the
+/// server's registry does at model load; `AUTOBIAS_COMPILE=0` shows every
+/// clause falling back to the interpreter.
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let path = args.get_str("--model").ok_or("missing --model FILE")?;
+    let mut ds = load(args)?;
+    let def = load_model(args, &mut ds)?;
+    let compiled = plan::enabled()
+        .then(|| plan::compile_definition(&ds.db, &def, &plan::CompileConfig::default()));
+    if args.has("--json") {
+        let name = Path::new(path).file_stem().and_then(|s| s.to_str());
+        println!(
+            "{}",
+            plan::explain_json(&ds.db, name, &def, compiled.as_ref(), None)
+        );
+    } else {
+        print!(
+            "{}",
+            plan::explain_text(&ds.db, &def, compiled.as_ref(), None)
+        );
+    }
     Ok(())
 }
 

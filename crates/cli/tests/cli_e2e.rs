@@ -340,9 +340,20 @@ fn report_out_writes_structured_run_report() {
 
     let raw = std::fs::read_to_string(&report).unwrap();
     let json = obs::json::Json::parse(&raw).unwrap_or_else(|e| panic!("{e}\n{raw}"));
-    assert_eq!(json.get("schema_version").unwrap().as_f64(), Some(1.0));
+    assert_eq!(json.get("schema_version").unwrap().as_f64(), Some(2.0));
     // Loaded datasets are named after the directory they came from.
     assert_eq!(json.get("dataset").unwrap().as_str(), Some("uw"));
+    // Schema v2: the report records the serving-readiness compile outcome.
+    let plan_compiled = json
+        .path(&["plan", "compiled_clauses"])
+        .expect("v2 report has a plan section")
+        .as_f64()
+        .unwrap() as usize;
+    let plan_fallback = json
+        .path(&["plan", "fallback_clauses"])
+        .unwrap()
+        .as_f64()
+        .unwrap() as usize;
     assert_eq!(
         json.path(&["params", "bias"]).unwrap().as_str(),
         Some("manual")
@@ -360,6 +371,7 @@ fn report_out_writes_structured_run_report() {
         .filter(|l| !l.trim().is_empty())
         .count();
     assert_eq!(clauses.len(), model_clauses, "{raw}");
+    assert_eq!(plan_compiled + plan_fallback, model_clauses, "{raw}");
     let accepted = iterations
         .iter()
         .filter(|it| it.get("accepted").and_then(|v| v.as_bool()) == Some(true))

@@ -81,6 +81,6 @@ pub mod summary;
 
 pub use chrome::export_chrome_trace;
 pub use progress::{NullSink, ProgressEvent, ProgressSink};
-pub use report::{ReportBuilder, RunReport};
+pub use report::{PlanReport, ReportBuilder, RunReport};
 pub use span::{enable_at_least, mode, reset, set_mode, Mode, SpanGuard};
 pub use summary::{phase_snapshot, render_summary_table, PhaseStat, PHASE_BUCKETS};

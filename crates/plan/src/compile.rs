@@ -211,6 +211,18 @@ impl CompiledClause {
         self.variants.len()
     }
 
+    /// Number of steps in variant `vi` (every variant orders the same body,
+    /// so this equals [`Self::num_steps`] for all valid `vi`).
+    pub fn variant_len(&self, vi: usize) -> usize {
+        self.variants[vi].steps.len()
+    }
+
+    /// Compile-time candidate estimate of step `si` of variant `vi` — the
+    /// baseline the q-error measures observed cardinalities against.
+    pub fn step_est(&self, vi: usize, si: usize) -> usize {
+        self.variants[vi].steps[si].est_cost
+    }
+
     /// Step order and access paths, one line per step — for `--profile`
     /// output and tests that pin the ordering heuristic. Multi-variant
     /// plans list each ordering under a `variant` header.
@@ -300,6 +312,25 @@ impl CompiledDefinition {
         scratch: &mut crate::ExecScratch<'a>,
     ) -> bool {
         self.plans.iter().any(|p| p.covers_with(db, args, scratch))
+    }
+
+    /// [`Self::covers_compiled_with`] with per-operator counters
+    /// accumulated into `tally` (shaped by
+    /// [`crate::stats::BatchTally::for_definition`]) — the EXPLAIN ANALYZE
+    /// form of the batch loop. Same short-circuiting disjunction, so the
+    /// verdict (and therefore the /predict response bytes) is identical to
+    /// the untallied path.
+    pub fn covers_compiled_tallied<'a>(
+        &self,
+        db: &'a Database,
+        args: &[Const],
+        scratch: &mut crate::ExecScratch<'a>,
+        tally: &mut crate::stats::BatchTally,
+    ) -> bool {
+        self.plans
+            .iter()
+            .zip(tally.clauses.iter_mut())
+            .any(|(p, t)| p.covers_with_tally(db, args, scratch, t))
     }
 }
 

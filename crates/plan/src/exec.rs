@@ -18,7 +18,74 @@
 //!   components, which share no variables with it.
 
 use crate::compile::{Access, CompiledClause, Key, Op, Step, Variant, MAX_SLOTS, MAX_STEPS};
+use crate::stats::ClauseTally;
 use relstore::{Const, Database, TupleId};
+
+/// Execution observer. The executor is generic over this so the untallied
+/// path monomorphizes every hook to nothing — [`NoTally`] keeps the hot
+/// loop byte-for-byte the code it was before stats existed, while
+/// [`ClauseTally`] pays plain register increments (no atomics; the batch
+/// flushes once into [`crate::stats::PlanStats`]).
+pub(crate) trait Tally {
+    /// One `covers` call began.
+    fn eval(&mut self) {}
+    /// The runtime selector chose variant `vi` for this evaluation.
+    fn selected(&mut self, _vi: usize) {}
+    /// Step `si` of variant `vi` computed a candidate set of `n` rows.
+    fn entered(&mut self, _vi: usize, _si: usize, _n: usize) {}
+    /// A candidate passed every residual op.
+    fn emitted(&mut self, _vi: usize, _si: usize) {}
+    /// A candidate failed a residual check op.
+    fn rejected(&mut self, _vi: usize, _si: usize) {}
+    /// A step ran dry and the walk retreated one depth.
+    fn backtrack(&mut self) {}
+    /// The node budget refuted the evaluation.
+    fn node_limit_hit(&mut self) {}
+    /// The evaluation answered `true`.
+    fn matched(&mut self) {}
+}
+
+/// The no-op observer (stats off).
+pub(crate) struct NoTally;
+
+impl Tally for NoTally {}
+
+impl Tally for ClauseTally {
+    #[inline]
+    fn eval(&mut self) {
+        self.evals += 1;
+    }
+    #[inline]
+    fn selected(&mut self, vi: usize) {
+        self.variants[vi].selected += 1;
+    }
+    #[inline]
+    fn entered(&mut self, vi: usize, si: usize, n: usize) {
+        let s = &mut self.variants[vi].steps[si];
+        s.entries += 1;
+        s.candidates += n as u64;
+    }
+    #[inline]
+    fn emitted(&mut self, vi: usize, si: usize) {
+        self.variants[vi].steps[si].emitted += 1;
+    }
+    #[inline]
+    fn rejected(&mut self, vi: usize, si: usize) {
+        self.variants[vi].steps[si].rejected += 1;
+    }
+    #[inline]
+    fn backtrack(&mut self) {
+        self.backtracks += 1;
+    }
+    #[inline]
+    fn node_limit_hit(&mut self) {
+        self.node_limit_hits += 1;
+    }
+    #[inline]
+    fn matched(&mut self) {
+        self.matches += 1;
+    }
+}
 
 /// Per-depth candidate cursor. `Copy` (the slice is a shared borrow), so
 /// the whole array initializes from a constant.
@@ -37,6 +104,16 @@ impl<'a> StepState<'a> {
         scan: false,
         scan_end: 0,
     };
+
+    /// Candidate-set size at entry (posting-list length or scan range) —
+    /// the observed counterpart of the compile-time `est_cost`.
+    fn len(&self) -> usize {
+        if self.scan {
+            self.scan_end
+        } else {
+            self.cands.len()
+        }
+    }
 }
 
 /// Reusable execution state: the slot bindings and per-depth cursors for one
@@ -89,9 +166,35 @@ impl CompiledClause {
         args: &[Const],
         scratch: &mut ExecScratch<'a>,
     ) -> bool {
+        self.covers_inner(db, args, scratch, &mut NoTally)
+    }
+
+    /// [`covers_with`](Self::covers_with) with per-operator counters
+    /// accumulated into `tally` (shaped by
+    /// [`BatchTally::for_definition`](crate::stats::BatchTally)) — the
+    /// EXPLAIN ANALYZE form. Identical verdicts to the untallied path; the
+    /// differential suites hold both to byte-identity.
+    pub fn covers_with_tally<'a>(
+        &self,
+        db: &'a Database,
+        args: &[Const],
+        scratch: &mut ExecScratch<'a>,
+        tally: &mut ClauseTally,
+    ) -> bool {
+        self.covers_inner(db, args, scratch, tally)
+    }
+
+    fn covers_inner<'a, T: Tally>(
+        &self,
+        db: &'a Database,
+        args: &[Const],
+        scratch: &mut ExecScratch<'a>,
+        tally: &mut T,
+    ) -> bool {
         // Same counter the interpreter bumps in `clause_covers_args`: a
         // coverage query is a coverage query, whichever engine answers it.
         autobias::instrument::COVERAGE_QUERIES.bump();
+        tally.eval();
         if args.len() != self.head_arity {
             return false;
         }
@@ -116,16 +219,19 @@ impl CompiledClause {
         // are now concrete — walk the ordering whose opening posting list is
         // shortest. Two O(1) freq reads here routinely save walking a
         // posting list orders of magnitude longer.
-        let variant = match self.variants.split_first() {
-            Some((single, [])) => single,
+        let (vi, variant) = match self.variants.split_first() {
+            Some((single, [])) => (0, single),
             _ => self
                 .variants
                 .iter()
-                .min_by_key(|v| v.entry_cost(db, slots))
+                .enumerate()
+                .min_by_key(|(_, v)| v.entry_cost(db, slots))
                 .expect("compiled clause has at least one variant"),
         };
+        tally.selected(vi);
         let steps = &variant.steps;
         if steps.is_empty() {
+            tally.matched();
             return true;
         }
 
@@ -133,6 +239,7 @@ impl CompiledClause {
         let mut nodes = 0usize;
         let mut depth = 0usize;
         states[0] = enter(db, &steps[0], slots);
+        tally.entered(vi, 0, states[0].len());
         loop {
             if advance(
                 db,
@@ -141,18 +248,28 @@ impl CompiledClause {
                 slots,
                 &mut nodes,
                 self.node_limit,
+                tally,
+                vi,
+                depth,
             ) {
                 depth += 1;
                 if depth == steps.len() {
+                    tally.matched();
                     return true;
                 }
                 states[depth] = enter(db, &steps[depth], slots);
+                tally.entered(vi, depth, states[depth].len());
             } else {
                 // Budget exhausted, or a barrier step ran dry: both refute.
-                if nodes > self.node_limit || steps[depth].barrier {
+                if nodes > self.node_limit {
+                    tally.node_limit_hit();
+                    return false;
+                }
+                if steps[depth].barrier {
                     return false;
                 }
                 depth -= 1;
+                tally.backtrack();
             }
         }
     }
@@ -213,13 +330,17 @@ fn enter<'a>(db: &'a Database, step: &Step, slots: &[Const]) -> StepState<'a> {
 /// Advances `step` to its next matching candidate, binding fresh slots
 /// as a side effect. `false` when candidates (or the node budget) ran
 /// out.
-fn advance(
+#[allow(clippy::too_many_arguments)] // internal hot path; `(vi, depth)` locate the tally slot
+fn advance<T: Tally>(
     db: &Database,
     step: &Step,
     st: &mut StepState<'_>,
     slots: &mut [Const],
     nodes: &mut usize,
     node_limit: usize,
+    tally: &mut T,
+    vi: usize,
+    depth: usize,
 ) -> bool {
     let rel = db.relation(step.rel);
     loop {
@@ -263,8 +384,10 @@ fn advance(
             }
         }
         if ok {
+            tally.emitted(vi, depth);
             return true;
         }
+        tally.rejected(vi, depth);
     }
 }
 

@@ -33,11 +33,17 @@
 
 pub mod compile;
 pub mod exec;
+pub mod explain;
+pub mod stats;
 
 pub use compile::{
     compile_clause, compile_definition, CompileConfig, CompiledClause, CompiledDefinition, Declined,
 };
 pub use exec::ExecScratch;
+pub use explain::{explain_json, explain_text, Analyzed, EXPLAIN_VERSION};
+pub use stats::{
+    q_error, step_q_errors, BatchTally, ClauseTally, PlanStats, StepTally, VariantTally,
+};
 
 use obs::metrics::Counter;
 use std::sync::Once;

@@ -29,8 +29,10 @@ pub const MAX_REQUESTS_PER_CONN: usize = 1024;
 pub struct Request {
     /// Uppercase method, e.g. `GET`.
     pub method: String,
-    /// Path component only (query strings are not used by this API).
+    /// Path component only, query string stripped.
     pub path: String,
+    /// Raw query string without the leading `?` (empty when absent).
+    pub query: String,
     /// Decoded body (empty when absent).
     pub body: String,
     /// Whether the client allows reusing the connection: HTTP/1.1 default
@@ -111,7 +113,10 @@ pub fn read_request_from(reader: &mut impl BufRead) -> Result<Request, HttpError
     let target = parts
         .next()
         .ok_or_else(|| HttpError::Bad("missing request target".into()))?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
     // HTTP/1.1 (and anything newer/absent) defaults to persistent
     // connections; HTTP/1.0 defaults to close.
     let mut keep_alive = !parts
@@ -153,6 +158,7 @@ pub fn read_request_from(reader: &mut impl BufRead) -> Result<Request, HttpError
     Ok(Request {
         method,
         path,
+        query,
         body,
         keep_alive,
     })
@@ -376,6 +382,10 @@ mod tests {
     fn strips_query_string_from_path() {
         let req = roundtrip("GET /models?verbose=1 HTTP/1.1\r\n\r\n").unwrap();
         assert_eq!(req.path, "/models");
+        assert_eq!(req.query, "verbose=1");
+
+        let req = roundtrip("GET /models HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query, "");
     }
 
     #[test]

@@ -196,6 +196,12 @@ pub struct JobStatus {
     pub bc_secs: Option<f64>,
     /// Seconds spent in clause search (the covering loop), once terminal.
     pub search_secs: Option<f64>,
+    /// Clauses of the learned model compiled into evaluation plans, once
+    /// the job completed and the model was registered.
+    pub plan_compiled: Option<usize>,
+    /// Clauses declined by the plan compiler (interpreter fallback), once
+    /// the job completed.
+    pub plan_fallback: Option<usize>,
 }
 
 /// One background learning job.
@@ -282,6 +288,8 @@ impl JobManager {
                 elapsed_secs: None,
                 bc_secs: None,
                 search_secs: None,
+                plan_compiled: None,
+                plan_fallback: None,
             }),
             cancel: AtomicBool::new(false),
             handle: Mutex::new(None),
@@ -311,6 +319,8 @@ impl JobManager {
                         s.elapsed_secs = Some(elapsed);
                         s.bc_secs = Some(outcome.bc_secs);
                         s.search_secs = Some(outcome.search_secs);
+                        s.plan_compiled = outcome.plan_compiled;
+                        s.plan_fallback = outcome.plan_fallback;
                     }),
                     Ok(Err(msg)) => worker_job.set_status(|s| {
                         s.state = JobState::Failed;
@@ -386,6 +396,8 @@ struct LearnOutcome {
     uncovered_pos: usize,
     bc_secs: f64,
     search_secs: f64,
+    plan_compiled: Option<usize>,
+    plan_fallback: Option<usize>,
 }
 
 /// Fans the learner's progress stream out to the job's live status fields,
@@ -521,13 +533,23 @@ fn run_learn(
     std::fs::write(&path, format!("{text}\n")).map_err(|e| format!("{}: {e}", path.display()))?;
     // Compile-at-insert happens before the report is finished, so the
     // `plan.compile` span shows up in the archived run's phase table.
-    registry.insert(ModelEntry::new(
-        &ds.db,
-        job.model_name.clone(),
-        def,
-        vec![],
-        Some(path),
-    ));
+    let entry = ModelEntry::new(&ds.db, job.model_name.clone(), def, vec![], Some(path));
+    let (plan_compiled, plan_fallback) = match entry.plan.as_ref() {
+        Some(p) => (Some(p.num_compiled()), Some(p.num_declined())),
+        None => (None, None),
+    };
+    if let Some(p) = entry.plan.as_ref() {
+        report.set_plan(obs::PlanReport {
+            compiled_clauses: p.num_compiled(),
+            fallback_clauses: p.num_declined(),
+            declined: p
+                .declined()
+                .iter()
+                .map(|(i, why)| format!("clause {i}: {why}"))
+                .collect(),
+        });
+    }
+    registry.insert(entry);
     if let Some(ledger) = ledger {
         let json = report.finish().to_json();
         if let Err(e) = ledger.archive(job.id, &json) {
@@ -550,6 +572,8 @@ fn run_learn(
         uncovered_pos,
         bc_secs: stats.bc_time.as_secs_f64(),
         search_secs: stats.search_time.as_secs_f64(),
+        plan_compiled,
+        plan_fallback,
     })
 }
 
@@ -611,6 +635,12 @@ mod tests {
         assert!(registry.get("learned").is_some());
         assert!(dir.join("learned.model").exists());
 
+        // The final compile outcome is part of the terminal status: every
+        // learned clause either compiled or was declined to the interpreter.
+        let compiled = status.plan_compiled.expect("compile outcome recorded");
+        let fallback = status.plan_fallback.expect("compile outcome recorded");
+        assert_eq!(compiled + fallback, status.clauses);
+
         // Live progress fields settled to the final values.
         assert_eq!(status.pos_total, ds.pos.len());
         assert_eq!(status.pos_covered, status.pos_total - status.uncovered_pos);
@@ -642,6 +672,11 @@ mod tests {
             Some(status.clauses as f64)
         );
         assert_eq!(report.get("dataset").unwrap().as_str(), Some("UW"));
+        assert_eq!(
+            report.path(&["plan", "compiled_clauses"]).unwrap().as_f64(),
+            Some(compiled as f64),
+            "archived report carries the compile outcome (schema v2)"
+        );
 
         // A pre-cancelled job terminates as cancelled with an empty model.
         let spec = JobSpec::parse("name cancelled-model\nbias manual\n").unwrap();

@@ -38,5 +38,6 @@ pub mod metrics;
 pub mod pool;
 pub mod registry;
 pub mod server;
+pub mod slow;
 
 pub use server::{serve, ServeConfig, ServerHandle};

@@ -55,6 +55,66 @@ pub static PREDICT_INTERPRETED_TUPLES: obs::metrics::Counter = obs::metrics::Cou
     "Predict tuple evaluations that used the interpreter (compilation off or clause declined).",
 );
 
+/// Predict batches where runtime variant selection chose between multiple
+/// kept orderings (single-variant clauses never bump this).
+pub static PLAN_VARIANT_SELECTIONS: obs::metrics::Counter = obs::metrics::Counter::new(
+    "autobias_plan_variant_selections_total",
+    "Clause evaluations where runtime variant selection chose between multiple kept orderings.",
+);
+
+/// Bucket upper bounds of the q-error histogram. q-error is ≥ 1 by
+/// definition, so the first bucket catches near-perfect estimates.
+const QERROR_BUCKETS: [f64; 8] = [1.0, 1.5, 2.0, 4.0, 8.0, 16.0, 64.0, f64::INFINITY];
+
+/// Process-global q-error histogram (`autobias_plan_estimate_qerror`):
+/// per-step estimated-vs-actual cardinality ratios observed by /predict
+/// batches with plan stats enabled. Global like the [`obs::metrics`]
+/// counters so every server and test in the process shares one series.
+static QERROR_BUCKET_COUNTS: [AtomicU64; QERROR_BUCKETS.len()] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+static QERROR_SUM_MILLIS: AtomicU64 = AtomicU64::new(0);
+static QERROR_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// Records one per-step q-error observation.
+pub fn observe_qerror(q: f64) {
+    for (i, &le) in QERROR_BUCKETS.iter().enumerate() {
+        if q <= le {
+            QERROR_BUCKET_COUNTS[i].fetch_add(1, Ordering::Relaxed);
+            break;
+        }
+    }
+    // Milli-units keep the sum integral without losing meaningful precision
+    // (q-errors worth histogramming are ≥ 1).
+    QERROR_SUM_MILLIS.fetch_add((q * 1e3) as u64, Ordering::Relaxed);
+    QERROR_COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// q-error observations so far (the histogram's `_count`).
+pub fn qerror_count() -> u64 {
+    QERROR_COUNT.load(Ordering::Relaxed)
+}
+
+/// Per-model compile outcome for labeled `autobias_plan_*_total` samples,
+/// built from the live registry at scrape time — rotated models simply stop
+/// appearing, so the label set is always the current registry names.
+#[derive(Debug, Clone)]
+pub struct ModelPlanSample {
+    /// Registry name (the `model` label value).
+    pub name: String,
+    /// Clauses compiled for this model.
+    pub compiled: u64,
+    /// Clauses declined to the interpreter for this model.
+    pub fallback: u64,
+}
+
 /// The endpoints we track. `Other` buckets everything unrecognized so the
 /// label set stays bounded no matter what clients send.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,17 +133,23 @@ pub enum Endpoint {
     Events,
     /// `GET /runs`, `GET /runs/{id}` (archived run reports)
     Runs,
+    /// `GET /models/{name}/plan` (EXPLAIN / EXPLAIN ANALYZE)
+    Plan,
+    /// `GET /debug/slow` (the slow-request flight recorder)
+    Debug,
     /// `POST /shutdown`
     Shutdown,
     /// Anything else (404s, parse failures).
     Other,
 }
 
-const ENDPOINTS: [(Endpoint, &str); 9] = [
+const ENDPOINTS: [(Endpoint, &str); 11] = [
     (Endpoint::Healthz, "healthz"),
     (Endpoint::Metrics, "metrics"),
     (Endpoint::Models, "models"),
     (Endpoint::Predict, "predict"),
+    (Endpoint::Plan, "plan"),
+    (Endpoint::Debug, "debug"),
     (Endpoint::Jobs, "jobs"),
     (Endpoint::Events, "events"),
     (Endpoint::Runs, "runs"),
@@ -212,8 +278,9 @@ impl Metrics {
     }
 
     /// Renders the Prometheus text format. `gauges` supplies point-in-time
-    /// values owned by other subsystems.
-    pub fn render(&self, gauges: &[GaugeSample]) -> String {
+    /// values owned by other subsystems; `models` supplies the live
+    /// registry's per-model compile outcomes for labeled plan counters.
+    pub fn render(&self, gauges: &[GaugeSample], models: &[ModelPlanSample]) -> String {
         let mut out = String::with_capacity(8192);
 
         out.push_str("# HELP autobias_requests_total Requests handled, by endpoint.\n");
@@ -269,7 +336,8 @@ impl Metrics {
         ));
 
         render_phase_histograms(&mut out);
-        render_registered_counters(&mut out);
+        render_qerror_histogram(&mut out);
+        render_registered_counters(&mut out, models);
 
         out.push_str(
             "# HELP autobias_trace_dropped_events_total Span events dropped by the bounded trace buffer.\n\
@@ -321,11 +389,37 @@ fn render_phase_histograms(out: &mut String) {
     }
 }
 
+/// Renders the `autobias_plan_estimate_qerror` histogram: per-step
+/// estimated-vs-actual cardinality ratios across all models.
+fn render_qerror_histogram(out: &mut String) {
+    out.push_str(
+        "# HELP autobias_plan_estimate_qerror Per-step q-error (max(est/actual, actual/est)) of compile-time cardinality estimates.\n\
+         # TYPE autobias_plan_estimate_qerror histogram\n",
+    );
+    let mut cumulative = 0u64;
+    for (i, &le) in QERROR_BUCKETS.iter().enumerate() {
+        cumulative += QERROR_BUCKET_COUNTS[i].load(Ordering::Relaxed);
+        out.push_str(&format!(
+            "autobias_plan_estimate_qerror_bucket{{le=\"{}\"}} {cumulative}\n",
+            fmt_le(le)
+        ));
+    }
+    out.push_str(&format!(
+        "autobias_plan_estimate_qerror_sum {}\n\
+         autobias_plan_estimate_qerror_count {}\n",
+        QERROR_SUM_MILLIS.load(Ordering::Relaxed) as f64 / 1e3,
+        QERROR_COUNT.load(Ordering::Relaxed)
+    ));
+}
+
 /// Renders every counter in the [`obs::metrics`] registry. The core
 /// learner's counters are registered via `autobias::instrument::register`
 /// and the verifier's via `analyze::register`, so a scrape sees them even
-/// before the first learning job or upload.
-fn render_registered_counters(out: &mut String) {
+/// before the first learning job or upload. The plan compile counters
+/// additionally get per-model labeled samples within the same family block
+/// (one HELP/TYPE), derived from the live registry so rotated models drop
+/// out of the label set immediately.
+fn render_registered_counters(out: &mut String, models: &[ModelPlanSample]) {
     autobias::instrument::register();
     analyze::register();
     plan::register();
@@ -334,6 +428,7 @@ fn render_registered_counters(out: &mut String) {
     obs::metrics::register(&KEEPALIVE_REUSES);
     obs::metrics::register(&PREDICT_TUPLES);
     obs::metrics::register(&PREDICT_INTERPRETED_TUPLES);
+    obs::metrics::register(&PLAN_VARIANT_SELECTIONS);
     for c in obs::metrics::registered() {
         out.push_str(&format!(
             "# HELP {} {}\n# TYPE {} counter\n{} {}\n",
@@ -343,6 +438,21 @@ fn render_registered_counters(out: &mut String) {
             c.name(),
             c.get()
         ));
+        let per_model: Option<fn(&ModelPlanSample) -> u64> = match c.name() {
+            "autobias_plan_compiled_total" => Some(|m| m.compiled),
+            "autobias_plan_fallback_total" => Some(|m| m.fallback),
+            _ => None,
+        };
+        if let Some(value_of) = per_model {
+            for m in models {
+                out.push_str(&format!(
+                    "{}{{model=\"{}\"}} {}\n",
+                    c.name(),
+                    escape_label_value(&m.name),
+                    value_of(m)
+                ));
+            }
+        }
     }
 }
 
@@ -357,11 +467,14 @@ mod tests {
         m.observe(Endpoint::Predict, Duration::from_micros(500), false);
         m.observe(Endpoint::Predict, Duration::from_millis(50), true);
         assert_eq!(m.requests(Endpoint::Predict), 2);
-        let text = m.render(&[GaugeSample {
-            name: "autobias_models_loaded",
-            help: "Models in the registry.",
-            value: 3.0,
-        }]);
+        let text = m.render(
+            &[GaugeSample {
+                name: "autobias_models_loaded",
+                help: "Models in the registry.",
+                value: 3.0,
+            }],
+            &[],
+        );
         assert!(text.contains("autobias_requests_total{endpoint=\"predict\"} 2"));
         assert!(text.contains("autobias_request_errors_total{endpoint=\"predict\"} 1"));
         // 500µs lands in the 0.001 bucket; cumulative counts reach 2 at +Inf.
@@ -389,6 +502,60 @@ mod tests {
         assert!(text.contains("autobias_predict_interpreted_tuples_total"));
         assert!(text.contains("autobias_plan_compiled_total"));
         assert!(text.contains("autobias_plan_fallback_total"));
+        assert!(text.contains("autobias_plan_variant_selections_total"));
+        assert!(text.contains("autobias_plan_estimate_qerror_bucket"));
+        assert!(text.contains("autobias_plan_estimate_qerror_count"));
+    }
+
+    #[test]
+    fn per_model_plan_labels_follow_the_live_registry() {
+        let m = Metrics::new();
+        let text = m.render(
+            &[],
+            &[ModelPlanSample {
+                name: "uw_coauthor".into(),
+                compiled: 2,
+                fallback: 1,
+            }],
+        );
+        assert!(text.contains("autobias_plan_compiled_total{model=\"uw_coauthor\"} 2"));
+        assert!(text.contains("autobias_plan_fallback_total{model=\"uw_coauthor\"} 1"));
+
+        // Rotation: the samples come from the registry snapshot passed per
+        // scrape, so a replaced model's series vanishes instead of going
+        // stale.
+        let text = m.render(
+            &[],
+            &[ModelPlanSample {
+                name: "uw_v2".into(),
+                compiled: 3,
+                fallback: 0,
+            }],
+        );
+        assert!(!text.contains("model=\"uw_coauthor\""));
+        assert!(text.contains("autobias_plan_compiled_total{model=\"uw_v2\"} 3"));
+    }
+
+    #[test]
+    fn qerror_histogram_buckets_and_count_agree() {
+        let before = qerror_count();
+        observe_qerror(1.0);
+        observe_qerror(3.0);
+        observe_qerror(1000.0);
+        assert_eq!(qerror_count(), before + 3);
+        let text = Metrics::new().render(&[], &[]);
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with("autobias_plan_estimate_qerror_count"))
+            .expect("qerror count rendered");
+        let inf_line = text
+            .lines()
+            .find(|l| l.starts_with("autobias_plan_estimate_qerror_bucket{le=\"+Inf\"}"))
+            .expect("+Inf bucket rendered");
+        let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+        let inf: u64 = inf_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(count, inf, "+Inf bucket must equal _count");
+        assert!(count >= 3);
     }
 
     #[test]
@@ -398,7 +565,7 @@ mod tests {
         m.disconnect();
         m.disconnect();
         assert_eq!(m.client_disconnects(), 2);
-        let text = m.render(&[]);
+        let text = m.render(&[], &[]);
         assert!(text.contains("autobias_client_disconnects_total 2"));
         assert!(text.contains("autobias_requests_total{endpoint=\"events\"} 1"));
         assert!(text.contains("autobias_request_errors_total{endpoint=\"events\"} 0"));
@@ -438,11 +605,18 @@ mod tests {
             obs::enable_at_least(obs::Mode::Summary);
             let _sp = obs::span!("test.metrics_conformance");
         }
-        let text = m.render(&[GaugeSample {
-            name: "autobias_jobs_running",
-            help: "Jobs currently running.",
-            value: 0.0,
-        }]);
+        let text = m.render(
+            &[GaugeSample {
+                name: "autobias_jobs_running",
+                help: "Jobs currently running.",
+                value: 0.0,
+            }],
+            &[ModelPlanSample {
+                name: "uw".into(),
+                compiled: 1,
+                fallback: 0,
+            }],
+        );
 
         let mut helps: HashSet<String> = HashSet::new();
         let mut types: HashMap<String, String> = HashMap::new();

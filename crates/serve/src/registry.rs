@@ -34,6 +34,11 @@ pub struct ModelEntry {
     /// requests evaluate compiled clauses through the plans and any declined
     /// clauses through the interpreter.
     pub plan: Option<plan::CompiledDefinition>,
+    /// Lock-free runtime statistics for the compiled plans, shaped like
+    /// `plan` and aggregated across predict batches (EXPLAIN ANALYZE,
+    /// q-error metrics). Lives and dies with the entry, so rotated models
+    /// can never leak stale series.
+    pub stats: Option<plan::PlanStats>,
 }
 
 impl ModelEntry {
@@ -62,12 +67,14 @@ impl ModelEntry {
         } else {
             None
         };
+        let stats = compiled.as_ref().map(plan::PlanStats::for_definition);
         Self {
             name,
             definition,
             unknown_constants,
             source,
             plan: compiled,
+            stats,
         }
     }
 }

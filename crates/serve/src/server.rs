@@ -62,8 +62,17 @@ struct AppState {
     jobs: JobManager,
     ledger: Arc<RunLedger>,
     metrics: Metrics,
+    slow: crate::slow::SlowRing,
     shutting_down: AtomicBool,
     addr: SocketAddr,
+}
+
+/// Whether /predict batches collect per-operator plan statistics
+/// (`AUTOBIAS_PLAN_STATS` unset or not `"0"`; default on). Read once per
+/// process — the Off path costs this one cached load per batch.
+fn plan_stats_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var("AUTOBIAS_PLAN_STATS").map_or(true, |v| v != "0"))
 }
 
 /// A running server; dropping the handle does not stop it — send
@@ -116,6 +125,7 @@ pub fn serve(cfg: &ServeConfig) -> Result<(ServerHandle, crate::registry::Reload
         jobs: JobManager::new(),
         ledger: Arc::new(ledger),
         metrics: Metrics::new(),
+        slow: crate::slow::SlowRing::default(),
         shutting_down: AtomicBool::new(false),
         addr,
     });
@@ -312,7 +322,9 @@ endpoints:
   GET  /models             list loaded models
   POST /models             reload models from the models directory
   POST /models/{name}      upload a model (verified; 422 + JSON diagnostics on Error findings)
+  GET  /models/{name}/plan EXPLAIN the model's compiled plans as JSON (?analyze=1 adds runtime stats)
   POST /predict            body: `model NAME` then one CSV tuple per line
+  GET  /debug/slow         worst-latency /predict batches (bounded ring, JSON)
   POST /jobs/learn         start a background learning job (key value lines)
   GET  /jobs               list jobs
   GET  /jobs/{id}          poll one job (includes live progress)
@@ -324,11 +336,28 @@ endpoints:
 ";
 
 fn route(state: &Arc<AppState>, req: &Request) -> Routed {
-    // `PUT`/`POST /models/{name}`: verified model upload, the one
-    // JSON-speaking route. `POST /models` (no name) stays the reload below.
+    // JSON-speaking routes are intercepted before the plain-text router:
+    // model upload, plan EXPLAIN, and the slow-request recorder.
     if matches!(req.method.as_str(), "POST" | "PUT") {
         if let Some(name) = req.path.strip_prefix("/models/") {
             return handle_model_upload(state, name, &req.body);
+        }
+    }
+    if req.method == "GET" {
+        if let Some(name) = req
+            .path
+            .strip_prefix("/models/")
+            .and_then(|rest| rest.strip_suffix("/plan"))
+        {
+            return handle_plan(state, name, &req.query);
+        }
+        if req.path == "/debug/slow" {
+            return Routed::json(
+                Endpoint::Debug,
+                200,
+                "OK",
+                format!("{}\n", state.slow.to_json()),
+            );
         }
     }
     let (endpoint, status, reason, body) = route_text(state, req);
@@ -426,6 +455,46 @@ fn handle_model_upload(state: &Arc<AppState>, name: &str, body: &str) -> Routed 
     )
 }
 
+/// `GET /models/{name}/plan`: the EXPLAIN document for a loaded model —
+/// per-clause access paths, probe keys, residual ops, kept variants, and
+/// compile-time estimates, with declined clauses carrying their reason.
+/// `?analyze=1` upgrades to EXPLAIN ANALYZE: the model's aggregated
+/// per-operator runtime counters and estimate-vs-actual q-errors are folded
+/// into the same document.
+fn handle_plan(state: &Arc<AppState>, name: &str, query: &str) -> Routed {
+    let Some(entry) = state.registry.get(name) else {
+        return Routed::json(
+            Endpoint::Plan,
+            404,
+            "Not Found",
+            format!("{{\"error\": \"no model {name} (see GET /models)\"}}\n"),
+        );
+    };
+    let want_analyze = query
+        .split('&')
+        .any(|kv| kv == "analyze=1" || kv == "analyze=true");
+    // `plan.enabled()` is consulted here like on the predict path, so a
+    // server running with AUTOBIAS_COMPILE=0 explains every clause as
+    // interpreted even if the entry was compiled at load.
+    let compiled = entry.plan.as_ref().filter(|_| plan::enabled());
+    let snapshot = match (want_analyze, compiled, entry.stats.as_ref()) {
+        (true, Some(_), Some(stats)) => Some((stats.snapshot(), stats.batches())),
+        _ => None,
+    };
+    let analyzed = snapshot.as_ref().map(|(tally, batches)| plan::Analyzed {
+        tally,
+        batches: *batches,
+    });
+    let json = plan::explain_json(
+        &state.ds.db,
+        Some(name),
+        &entry.definition,
+        compiled,
+        analyzed,
+    );
+    Routed::json(Endpoint::Plan, 200, "OK", format!("{json}\n"))
+}
+
 fn route_text(state: &Arc<AppState>, req: &Request) -> (Endpoint, u16, &'static str, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (Endpoint::Healthz, 200, "OK", "ok\n".to_string()),
@@ -464,7 +533,27 @@ fn route_text(state: &Arc<AppState>, req: &Request) -> (Endpoint, u16, &'static 
                     value: acceptance,
                 },
             ];
-            (Endpoint::Metrics, 200, "OK", state.metrics.render(&gauges))
+            // Per-model plan samples come from the live registry snapshot,
+            // so rotated models drop out of the label set at the next
+            // scrape instead of leaving stale series behind.
+            let models: Vec<crate::metrics::ModelPlanSample> = state
+                .registry
+                .list()
+                .iter()
+                .filter_map(|m| {
+                    m.plan.as_ref().map(|p| crate::metrics::ModelPlanSample {
+                        name: m.name.clone(),
+                        compiled: p.num_compiled() as u64,
+                        fallback: p.num_declined() as u64,
+                    })
+                })
+                .collect();
+            (
+                Endpoint::Metrics,
+                200,
+                "OK",
+                state.metrics.render(&gauges, &models),
+            )
         }
         ("GET", "/models") => {
             let mut out = String::new();
@@ -629,6 +718,9 @@ fn render_job(job: &crate::jobs::Job) -> String {
     if let Some(secs) = s.search_secs {
         out.push_str(&format!("phase clause_search {secs:.3}\n"));
     }
+    if let (Some(compiled), Some(fallback)) = (s.plan_compiled, s.plan_fallback) {
+        out.push_str(&format!("plan compiled={compiled} fallback={fallback}\n"));
+    }
     if !s.detail.is_empty() {
         out.push_str(&format!("detail {}\n", s.detail));
     }
@@ -727,14 +819,26 @@ fn handle_predict(
     // registry entry that was compiled at load.
     let compiled = entry.plan.as_ref().filter(|_| plan::enabled());
     crate::metrics::PREDICT_TUPLES.add(echo.len() as u64);
+    let t_batch = Instant::now();
+    let engine;
+    let mut ops = crate::slow::SlowOpSummary::default();
     if let Some(plans) = compiled {
+        engine = "compiled";
         let mut sp = obs::span!("predict.compiled_batch");
         let mut scratch = EvalScratch::default();
         let mut exec = plan::ExecScratch::default();
         let mut interpreted = 0u64;
+        // One plain-counter tally for the whole batch, flushed into the
+        // model's atomics once at the end; with stats off the tally is
+        // never built and the hot loop is the exact pre-stats code path.
+        let stats = entry.stats.as_ref().filter(|_| plan_stats_enabled());
+        let mut tally = stats.map(|_| plan::BatchTally::for_definition(plans));
         for (t, verdict) in verdicts.iter_mut().enumerate() {
             let args = &consts[t * arity..(t + 1) * arity];
-            let mut covered = plans.covers_compiled_with(db, args, &mut exec);
+            let mut covered = match tally.as_mut() {
+                Some(tally) => plans.covers_compiled_tallied(db, args, &mut exec, tally),
+                None => plans.covers_compiled_with(db, args, &mut exec),
+            };
             // Clauses the compiler declined still participate in the
             // definition's disjunction — interpret them for tuples no
             // compiled clause covered.
@@ -755,7 +859,31 @@ fn handle_predict(
         }
         sp.note("tuples", echo.len() as u64);
         crate::metrics::PREDICT_INTERPRETED_TUPLES.add(interpreted);
+        if let (Some(stats), Some(tally)) = (stats, tally.as_ref()) {
+            stats.absorb(tally);
+            let q_errors = plan::step_q_errors(plans, tally);
+            for &q in &q_errors {
+                crate::metrics::observe_qerror(q);
+            }
+            crate::metrics::PLAN_VARIANT_SELECTIONS.add(tally.multi_variant_selections());
+            for ct in &tally.clauses {
+                ops.backtracks += ct.backtracks;
+                ops.node_limit_hits += ct.node_limit_hits;
+                for vt in &ct.variants {
+                    for st in &vt.steps {
+                        ops.entries += st.entries;
+                        ops.candidates += st.candidates;
+                        ops.rejected += st.rejected;
+                    }
+                }
+            }
+            ops.max_qerror = q_errors
+                .iter()
+                .copied()
+                .fold(None, |m, q| Some(m.map_or(q, |m: f64| m.max(q))));
+        }
     } else {
+        engine = "interpreted";
         let mut sp = obs::span!("predict.interpreted_batch");
         let mut scratch = EvalScratch::default();
         for (t, verdict) in verdicts.iter_mut().enumerate() {
@@ -766,6 +894,16 @@ fn handle_predict(
         sp.note("tuples", echo.len() as u64);
         crate::metrics::PREDICT_INTERPRETED_TUPLES.add(echo.len() as u64);
     }
+    // Offer the batch to the slow-request flight recorder; on the common
+    // path (ring full of slower batches) this is one relaxed load.
+    state.slow.record(
+        t_batch.elapsed().as_micros() as u64,
+        name,
+        engine,
+        echo.len(),
+        &echo[0],
+        ops,
+    );
 
     let mut out = String::with_capacity(echo.len() * 24);
     for (fields, covered) in echo.iter().zip(&verdicts) {

@@ -1,0 +1,276 @@
+//! Slow-request flight recorder: a bounded, latency-ordered ring of the
+//! worst `/predict` batches observed since startup, served by
+//! `GET /debug/slow`.
+//!
+//! The recorder keeps the top [`SlowRing::cap`] batches by wall-clock
+//! latency, each with enough context to reconstruct *why* it was slow:
+//! which model and engine served it, how many tuples it carried, a
+//! truncated sample of the first tuple's arguments, and a per-operator
+//! summary of the plan tallies for that batch (entries, candidates,
+//! rejections, backtracks, node-limit hits, and the worst per-step
+//! q-error).
+//!
+//! The hot path is guarded by a lock-free floor: once the ring is full,
+//! `record` first compares the batch latency against a relaxed-loaded
+//! threshold (the current minimum in the ring) and returns without taking
+//! the mutex for the overwhelming majority of requests that are faster
+//! than everything already recorded. Only genuine top-N candidates pay the
+//! short critical section.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of slow batches retained.
+pub const SLOW_RING_CAP: usize = 16;
+
+/// Arguments sample is cut to this many bytes.
+const ARGS_SAMPLE_MAX: usize = 120;
+
+/// One recorded slow batch.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// Monotone sequence number (admission order, process-wide).
+    pub seq: u64,
+    /// Batch wall-clock latency in microseconds.
+    pub latency_us: u64,
+    /// Model that served the batch.
+    pub model: String,
+    /// `"compiled"` or `"interpreted"`.
+    pub engine: &'static str,
+    /// Tuples in the batch.
+    pub tuples: usize,
+    /// Truncated rendering of the first tuple's arguments.
+    pub args_sample: String,
+    /// Plan-step entries during the batch (0 on the interpreted engine).
+    pub entries: u64,
+    /// Candidates scanned across all plan steps.
+    pub candidates: u64,
+    /// Candidates rejected by residual checks.
+    pub rejected: u64,
+    /// Backtracks across all clauses.
+    pub backtracks: u64,
+    /// Node-limit refutations.
+    pub node_limit_hits: u64,
+    /// Worst per-step q-error observed in the batch, if any step ran.
+    pub max_qerror: Option<f64>,
+}
+
+/// Per-operator context of a batch, in the shape `record` wants — built by
+/// the predict handler from its [`plan::BatchTally`] (zeroes for the
+/// interpreted engine).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SlowOpSummary {
+    /// Plan-step entries during the batch.
+    pub entries: u64,
+    /// Candidates scanned.
+    pub candidates: u64,
+    /// Candidates rejected by residual checks.
+    pub rejected: u64,
+    /// Backtracks.
+    pub backtracks: u64,
+    /// Node-limit refutations.
+    pub node_limit_hits: u64,
+    /// Worst per-step q-error, if any step ran.
+    pub max_qerror: Option<f64>,
+}
+
+/// The bounded worst-latency ring. One per server.
+#[derive(Debug)]
+pub struct SlowRing {
+    cap: usize,
+    /// Latency of the fastest retained entry once the ring is full, for the
+    /// lock-free fast reject. 0 while the ring has room.
+    floor_us: AtomicU64,
+    seq: AtomicU64,
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl Default for SlowRing {
+    fn default() -> Self {
+        Self::with_capacity(SLOW_RING_CAP)
+    }
+}
+
+impl SlowRing {
+    /// An empty ring retaining the `cap` worst batches.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            cap,
+            floor_us: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            entries: Mutex::new(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// Offers one finished batch. Cheap when the batch is faster than
+    /// everything retained: one relaxed load, no lock.
+    pub fn record(
+        &self,
+        latency_us: u64,
+        model: &str,
+        engine: &'static str,
+        tuples: usize,
+        args_sample: &str,
+        ops: SlowOpSummary,
+    ) {
+        if latency_us <= self.floor_us.load(Ordering::Relaxed) {
+            return; // ring is full and this batch is faster than all of it
+        }
+        let mut entries = self.entries.lock().expect("slow ring poisoned");
+        // Re-check under the lock: the floor may have moved.
+        if entries.len() == self.cap {
+            let (min_idx, min_latency) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.latency_us)
+                .map(|(i, e)| (i, e.latency_us))
+                .unwrap_or((0, 0));
+            if latency_us <= min_latency {
+                return;
+            }
+            entries.swap_remove(min_idx);
+        }
+        let mut sample = String::with_capacity(args_sample.len().min(ARGS_SAMPLE_MAX + 1));
+        for ch in args_sample.chars() {
+            if sample.len() + ch.len_utf8() > ARGS_SAMPLE_MAX {
+                sample.push('…');
+                break;
+            }
+            sample.push(ch);
+        }
+        entries.push(SlowEntry {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            latency_us,
+            model: model.to_string(),
+            engine,
+            tuples,
+            args_sample: sample,
+            entries: ops.entries,
+            candidates: ops.candidates,
+            rejected: ops.rejected,
+            backtracks: ops.backtracks,
+            node_limit_hits: ops.node_limit_hits,
+            max_qerror: ops.max_qerror,
+        });
+        if entries.len() == self.cap {
+            let floor = entries.iter().map(|e| e.latency_us).min().unwrap_or(0);
+            self.floor_us.store(floor, Ordering::Relaxed);
+        }
+    }
+
+    /// Retained entries, worst latency first.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        let mut out = self.entries.lock().expect("slow ring poisoned").clone();
+        out.sort_by(|a, b| b.latency_us.cmp(&a.latency_us).then(a.seq.cmp(&b.seq)));
+        out
+    }
+
+    /// The `GET /debug/slow` body: a JSON array, worst first, rendered
+    /// through [`obs::json::Json`] (canonical, machine-parsable).
+    pub fn to_json(&self) -> String {
+        use obs::json::Json;
+        let arr = self
+            .snapshot()
+            .into_iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("seq".into(), Json::Num(e.seq as f64)),
+                    ("latency_us".into(), Json::Num(e.latency_us as f64)),
+                    ("model".into(), Json::Str(e.model)),
+                    ("engine".into(), Json::Str(e.engine.to_string())),
+                    ("tuples".into(), Json::Num(e.tuples as f64)),
+                    ("args_sample".into(), Json::Str(e.args_sample)),
+                    ("entries".into(), Json::Num(e.entries as f64)),
+                    ("candidates".into(), Json::Num(e.candidates as f64)),
+                    ("rejected".into(), Json::Num(e.rejected as f64)),
+                    ("backtracks".into(), Json::Num(e.backtracks as f64)),
+                    (
+                        "node_limit_hits".into(),
+                        Json::Num(e.node_limit_hits as f64),
+                    ),
+                    (
+                        "max_qerror".into(),
+                        e.max_qerror.map_or(Json::Null, Json::Num),
+                    ),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("cap".into(), Json::Num(self.cap as f64)),
+            ("slow".into(), Json::Arr(arr)),
+        ])
+        .to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(ring: &SlowRing, latency_us: u64) {
+        ring.record(
+            latency_us,
+            "m",
+            "compiled",
+            1,
+            "a,b",
+            SlowOpSummary::default(),
+        );
+    }
+
+    #[test]
+    fn keeps_worst_n_and_orders_snapshot() {
+        let ring = SlowRing::with_capacity(3);
+        for l in [10, 50, 20, 40, 30, 5] {
+            rec(&ring, l);
+        }
+        let snap = ring.snapshot();
+        let latencies: Vec<u64> = snap.iter().map(|e| e.latency_us).collect();
+        assert_eq!(latencies, vec![50, 40, 30]);
+    }
+
+    #[test]
+    fn fast_reject_floor_engages_when_full() {
+        let ring = SlowRing::with_capacity(2);
+        rec(&ring, 100);
+        rec(&ring, 200);
+        assert_eq!(ring.floor_us.load(Ordering::Relaxed), 100);
+        rec(&ring, 50); // below the floor: rejected without changing the ring
+        assert_eq!(ring.snapshot().len(), 2);
+        rec(&ring, 150);
+        assert_eq!(ring.floor_us.load(Ordering::Relaxed), 150);
+    }
+
+    #[test]
+    fn truncates_args_sample_and_renders_json() {
+        let ring = SlowRing::with_capacity(2);
+        let long = "x".repeat(500);
+        ring.record(
+            9,
+            "uw",
+            "compiled",
+            3,
+            &long,
+            SlowOpSummary {
+                entries: 4,
+                candidates: 12,
+                rejected: 2,
+                backtracks: 1,
+                node_limit_hits: 0,
+                max_qerror: Some(2.5),
+            },
+        );
+        let snap = ring.snapshot();
+        assert!(snap[0].args_sample.chars().count() <= ARGS_SAMPLE_MAX + 1);
+        assert!(snap[0].args_sample.ends_with('…'));
+
+        let json = ring.to_json();
+        let parsed = obs::json::Json::parse(&json).unwrap();
+        assert_eq!(parsed.to_string(), json, "canonical rendering");
+        let slow = parsed.get("slow").unwrap().as_arr().unwrap();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].get("model").unwrap().as_str(), Some("uw"));
+        assert_eq!(slow[0].get("max_qerror").unwrap().as_f64(), Some(2.5));
+        assert_eq!(slow[0].get("candidates").unwrap().as_f64(), Some(12.0));
+    }
+}

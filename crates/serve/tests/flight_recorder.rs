@@ -202,7 +202,19 @@ fn flight_recorder_end_to_end() {
     let (status, body) = request(addr, "GET", &format!("/runs/{id}"), "");
     assert_eq!(status, 200);
     let report = Json::parse(&body).unwrap_or_else(|e| panic!("{e}\n{body}"));
-    assert_eq!(report.get("schema_version").unwrap().as_f64(), Some(1.0));
+    assert_eq!(report.get("schema_version").unwrap().as_f64(), Some(2.0));
+    // Schema v2: the archived report records the final compile outcome.
+    let plan_compiled = report
+        .path(&["plan", "compiled_clauses"])
+        .expect("v2 report has a plan section")
+        .as_f64()
+        .unwrap() as usize;
+    let plan_fallback = report
+        .path(&["plan", "fallback_clauses"])
+        .unwrap()
+        .as_f64()
+        .unwrap() as usize;
+    assert_eq!(plan_compiled + plan_fallback, accepted, "{body}");
     // The server names the dataset after the directory it was loaded from.
     assert_eq!(report.get("dataset").unwrap().as_str(), Some("data"));
     assert_eq!(
