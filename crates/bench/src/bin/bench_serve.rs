@@ -259,6 +259,11 @@ fn main() -> ExitCode {
         data_dir: data.clone(),
         models_dir: models.clone(),
         threads,
+        access_log: None,
+        // The HTTP phase measures the untraced fast path (one relaxed load
+        // per span site), so the bench_compare gate against the committed
+        // baseline holds request tracing to zero overhead when off.
+        request_trace: false,
     };
     let (handle, report) = serve(&cfg).expect("server boots");
     assert!(
@@ -366,6 +371,7 @@ fn main() -> ExitCode {
     writeln!(json, "      \"phases\": {{}}").unwrap();
     writeln!(json, "    }},").unwrap();
     writeln!(json, "    \"http\": {{").unwrap();
+    writeln!(json, "      \"request_trace\": false,").unwrap();
     writeln!(json, "      \"achieved_rps\": {achieved_rps:.1},").unwrap();
     writeln!(json, "      \"requests\": {requests},").unwrap();
     writeln!(json, "      \"p50_us\": {p50},").unwrap();

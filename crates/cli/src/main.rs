@@ -54,6 +54,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&args),
         "serve" => cmd_serve(&args).map(done),
         "jobs" => cmd_jobs(&args).map(done),
+        "trace" => cmd_trace(&args).map(done),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -96,8 +97,10 @@ USAGE:
   autobias check   --data DIR (--bias FILE | --model FILE [--bias auto|manual|FILE])
                    [--format text|json]
   autobias serve   --data DIR --models DIR [--addr HOST:PORT] [--threads N]
-                   [--log-level error|warn|info|debug]
+                   [--access-log FILE] [--log-level error|warn|info|debug]
   autobias jobs    watch ID [--addr HOST:PORT]
+  autobias trace   dump TRACE_ID [--addr HOST:PORT] [--format tree|chrome]
+                   [--out FILE]
 
 Every command accepts --log-level error|warn|info|debug (or set AUTOBIAS_LOG).
 check: static verification (lints AB0xx/AB1xx); exits non-zero on Error
@@ -110,7 +113,12 @@ explain: renders the compiled evaluation plan per clause — access paths,
        probe keys, residual checks, cost estimates, and declined clauses
        with reasons. --json emits the same versioned document served by
        GET /models/{name}/plan.
-jobs watch: streams a running server's learning-job progress events (SSE).";
+jobs watch: streams a running server's learning-job progress events (SSE).
+serve: --access-log appends one JSON line per request (trace id, route,
+       status, latency, plan totals), rotated at a size cap.
+trace dump: fetches one tail-sampled trace from a running server
+       (GET /debug/traces/{id}); --format chrome writes a chrome-trace
+       JSON loadable in ui.perfetto.dev.";
 
 /// Applies `--log-level` (which wins over the `AUTOBIAS_LOG` environment
 /// variable read by `obs` on first use).
@@ -551,6 +559,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         data_dir: PathBuf::from(data),
         models_dir: PathBuf::from(models),
         threads: args.get("--threads", 4usize),
+        access_log: args.get_str("--access-log").map(PathBuf::from),
+        ..autobias_serve::ServeConfig::default()
     };
     let (handle, report) = autobias_serve::serve(&cfg)?;
     for (file, e) in &report.errors {
@@ -576,6 +586,85 @@ fn cmd_jobs(args: &Args) -> Result<(), String> {
         ["watch", id] => watch_job(args.get_str("--addr").unwrap_or("127.0.0.1:8720"), id),
         _ => Err(JOBS_USAGE.to_string()),
     }
+}
+
+const TRACE_USAGE: &str =
+    "usage: autobias trace dump TRACE_ID [--addr HOST:PORT] [--format tree|chrome] [--out FILE]";
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let positionals = args.positionals();
+    match positionals.as_slice() {
+        ["dump", id] => dump_trace(
+            args.get_str("--addr").unwrap_or("127.0.0.1:8720"),
+            id,
+            args.get_str("--format").unwrap_or("tree"),
+            args.get_str("--out"),
+        ),
+        _ => Err(TRACE_USAGE.to_string()),
+    }
+}
+
+/// One-shot `GET /debug/traces/{id}` against a running server. The trace
+/// only exists if the tail sampler kept it (errored, fell back to the
+/// interpreter, ran slow, or was a learn job).
+fn dump_trace(addr: &str, id: &str, format: &str, out: Option<&str>) -> Result<(), String> {
+    use autobias_serve::http::read_response_head;
+    use std::io::{BufReader, Read, Write};
+
+    if id.is_empty() || !id.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return Err(format!("trace id must be hex: {TRACE_USAGE}"));
+    }
+    let path = match format {
+        "tree" => format!("/debug/traces/{id}"),
+        "chrome" => format!("/debug/traces/{id}?format=chrome"),
+        other => return Err(format!("unknown --format {other}: {TRACE_USAGE}")),
+    };
+    let mut conn =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    write!(
+        conn,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )
+    .map_err(|e| e.to_string())?;
+    conn.flush().map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(conn);
+    let (status, headers) =
+        read_response_head(&mut reader).map_err(|e| format!("bad response: {e}"))?;
+    let mut body = String::new();
+    let len = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse::<usize>().ok());
+    match len {
+        Some(len) => {
+            let mut buf = vec![0u8; len];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| format!("reading body: {e}"))?;
+            body.push_str(&String::from_utf8_lossy(&buf));
+        }
+        None => {
+            reader
+                .read_to_string(&mut body)
+                .map_err(|e| format!("reading body: {e}"))?;
+        }
+    }
+    if status == 404 {
+        return Err(format!(
+            "no kept trace {id} (only errored, slow, interpreter-fallback, or job requests are kept)"
+        ));
+    }
+    if status != 200 {
+        return Err(format!("server returned {status} for trace {id}"));
+    }
+    match out {
+        Some(file) => {
+            std::fs::write(file, body.as_bytes()).map_err(|e| format!("writing {file}: {e}"))?;
+            println!("wrote trace {id} to {file}");
+        }
+        None => println!("{body}"),
+    }
+    Ok(())
 }
 
 /// Streams `GET /jobs/{id}/events` from a running server and renders each

@@ -385,6 +385,39 @@ mod tests {
     }
 
     #[test]
+    fn escapes_every_control_character() {
+        // Every code point in U+0000..=U+001F must leave a displayed string
+        // as an escape sequence (RFC 8259 §7) and parse back to itself —
+        // access-log lines and kept traces embed request paths verbatim, so
+        // a single raw control byte would corrupt the JSONL stream.
+        let all_controls: String = (0u32..=0x1f).map(|c| char::from_u32(c).unwrap()).collect();
+        let rendered = Json::Str(all_controls.clone()).to_string();
+        for b in rendered.bytes() {
+            assert!(
+                b >= 0x20,
+                "raw control byte {b:#04x} leaked into {rendered:?}"
+            );
+        }
+        assert!(rendered.contains("\\u0000"));
+        assert!(rendered.contains("\\n"));
+        assert!(rendered.contains("\\r"));
+        assert!(rendered.contains("\\t"));
+        assert!(rendered.contains("\\u001f"));
+        let parsed = Json::parse(&rendered).unwrap();
+        assert_eq!(parsed.as_str(), Some(all_controls.as_str()));
+    }
+
+    #[test]
+    fn control_characters_survive_object_keys() {
+        // Keys go through the same escaper as values.
+        let j = Json::Obj(vec![("a\u{1}b".to_string(), Json::Str("\u{7}".into()))]);
+        let rendered = j.to_string();
+        assert_eq!(rendered, "{\"a\\u0001b\":\"\\u0007\"}");
+        let back = Json::parse(&rendered).unwrap();
+        assert_eq!(back.get("a\u{1}b").unwrap().as_str(), Some("\u{7}"));
+    }
+
+    #[test]
     fn parses_own_chrome_trace_output() {
         let json = crate::chrome::export_chrome_trace(&[]);
         let parsed = Json::parse(&json).expect("chrome export is valid JSON");

@@ -16,6 +16,14 @@
 //!   atomic load**, nothing is recorded), [`Mode::Summary`] (per-phase
 //!   aggregates only), and [`Mode::Full`] (aggregates plus a bounded event
 //!   buffer for trace export).
+//! - [`mod@trace`] — context-carried trace trees. A [`trace::TraceCtx`]
+//!   installed on a thread gives every span entered there a
+//!   `span_id`/`parent_id` inside one request- or job-scoped tree, with W3C
+//!   `traceparent` propagation ([`trace::parse_traceparent`]); the serving
+//!   layer tail-samples finished trees. The off fast path is shared with
+//!   the global recorder: mode and the "any trace installed" flag live in
+//!   one state byte, so a span still costs one relaxed load when both are
+//!   off.
 //! - [`chrome`] — exports the recorded events as chrome-trace JSON,
 //!   loadable in `about://tracing` or [Perfetto](https://ui.perfetto.dev).
 //! - [`summary`] — flat per-phase statistics (count, total, mean, max, and
@@ -78,9 +86,11 @@ pub mod progress;
 pub mod report;
 pub mod span;
 pub mod summary;
+pub mod trace;
 
 pub use chrome::export_chrome_trace;
 pub use progress::{NullSink, ProgressEvent, ProgressSink};
 pub use report::{PlanReport, ReportBuilder, RunReport};
 pub use span::{enable_at_least, mode, reset, set_mode, Mode, SpanGuard};
 pub use summary::{phase_snapshot, render_summary_table, PhaseStat, PHASE_BUCKETS};
+pub use trace::{format_traceparent, parse_traceparent, TraceCtx, TraceTree};

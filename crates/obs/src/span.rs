@@ -1,10 +1,20 @@
-//! Hierarchical RAII spans over a process-wide recorder.
+//! Hierarchical RAII spans over a process-wide recorder, plus per-context
+//! trace trees.
 //!
 //! A span is opened with [`enter`] (or the [`crate::span!`] macro) and
 //! closed by dropping the returned [`SpanGuard`]. Nesting is tracked per
 //! thread; the chrome-trace exporter relies on time containment within one
-//! thread track, so no explicit parent ids are stored. The recorder has
-//! three modes (see [`Mode`]); everything is monotonic and thread-safe.
+//! thread track, so the process-wide buffer stores no explicit parent ids.
+//! The recorder has three modes (see [`Mode`]); everything is monotonic and
+//! thread-safe.
+//!
+//! Independently of the global mode, a [`crate::trace::TraceCtx`] can be
+//! installed on a thread: every span entered while it is installed is also
+//! recorded into that context's tree with explicit `span_id`/`parent_id`
+//! links (see [`crate::trace`]). Both sinks share the single fast-path
+//! check: one relaxed atomic load of a combined state byte (mode in the low
+//! bits, a "some trace installed" flag above them), so a span costs nothing
+//! extra when both are off.
 
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -22,7 +32,22 @@ pub enum Mode {
     Full = 2,
 }
 
-static MODE: AtomicU8 = AtomicU8::new(Mode::Off as u8);
+/// Combined recorder state: mode in the low two bits, [`TRACE_BIT`] set
+/// while at least one `TraceCtx` is installed anywhere in the process.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+const MODE_MASK: u8 = 0b0011;
+const TRACE_BIT: u8 = 0b0100;
+
+/// Raises/clears the trace flag in the combined state. Called only by
+/// [`crate::trace`] when the count of installed contexts crosses zero.
+pub(crate) fn set_trace_flag(on: bool) {
+    if on {
+        STATE.fetch_or(TRACE_BIT, Ordering::Relaxed);
+    } else {
+        STATE.fetch_and(!TRACE_BIT, Ordering::Relaxed);
+    }
+}
 
 /// Cap on buffered events; completions beyond it are aggregated but not
 /// buffered, and counted in [`dropped_events`].
@@ -33,22 +58,26 @@ static DROPPED: AtomicU64 = AtomicU64::new(0);
 /// Current recorder mode.
 #[inline]
 pub fn mode() -> Mode {
-    match MODE.load(Ordering::Relaxed) {
+    match STATE.load(Ordering::Relaxed) & MODE_MASK {
         0 => Mode::Off,
         1 => Mode::Summary,
         _ => Mode::Full,
     }
 }
 
-/// Sets the recorder mode.
+/// Sets the recorder mode (the trace flag is left untouched).
 pub fn set_mode(m: Mode) {
-    MODE.store(m as u8, Ordering::Relaxed);
+    let _ = STATE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+        Some((s & !MODE_MASK) | m as u8)
+    });
 }
 
 /// Raises the recorder mode if `m` is more detailed than the current one —
 /// safe to call from several subsystems without clobbering each other.
 pub fn enable_at_least(m: Mode) {
-    MODE.fetch_max(m as u8, Ordering::Relaxed);
+    let _ = STATE.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |s| {
+        Some((s & !MODE_MASK) | (s & MODE_MASK).max(m as u8))
+    });
 }
 
 /// Events dropped because the buffer hit [`MAX_EVENTS`].
@@ -119,10 +148,13 @@ pub struct SpanGuard {
     name: &'static str,
     label: Option<&'static str>,
     notes: Vec<(&'static str, u64)>,
-    /// `None` while the recorder is off — an inactive guard never reads the
-    /// clock.
+    /// `None` while the recorder is fully off — an inactive guard never
+    /// reads the clock.
     start: Option<Instant>,
     depth: u32,
+    /// Set when a [`crate::trace::TraceCtx`] was installed on this thread at
+    /// entry; the span is then also recorded into that trace tree.
+    trace: Option<crate::trace::TraceAttach>,
 }
 
 impl SpanGuard {
@@ -158,13 +190,16 @@ impl SpanGuard {
 /// Opens a span. Prefer the [`crate::span!`] macro.
 #[inline]
 pub fn enter(name: &'static str, label: Option<&'static str>) -> SpanGuard {
-    if mode() == Mode::Off {
+    // The off fast path: one relaxed load covering both the global mode and
+    // the "any trace installed" flag. No clock read, no allocation.
+    if STATE.load(Ordering::Relaxed) == 0 {
         return SpanGuard {
             name,
             label,
             notes: Vec::new(),
             start: None,
             depth: 0,
+            trace: None,
         };
     }
     enter_slow(name, label)
@@ -172,6 +207,19 @@ pub fn enter(name: &'static str, label: Option<&'static str>) -> SpanGuard {
 
 #[cold]
 fn enter_slow(name: &'static str, label: Option<&'static str>) -> SpanGuard {
+    let trace = crate::trace::attach();
+    if trace.is_none() && mode() == Mode::Off {
+        // The trace flag is set but this thread carries no context (another
+        // thread's trace raised it). Stay inactive.
+        return SpanGuard {
+            name,
+            label,
+            notes: Vec::new(),
+            start: None,
+            depth: 0,
+            trace: None,
+        };
+    }
     let depth = DEPTH.with(|d| {
         let v = d.get();
         d.set(v + 1);
@@ -183,6 +231,7 @@ fn enter_slow(name: &'static str, label: Option<&'static str>) -> SpanGuard {
         notes: Vec::new(),
         start: Some(Instant::now()),
         depth,
+        trace,
     }
 }
 
@@ -193,8 +242,17 @@ impl Drop for SpanGuard {
         };
         let dur = start.elapsed();
         DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        let notes = std::mem::take(&mut self.notes);
+        let tid = TID.with(|t| *t);
+        if let Some(attach) = self.trace.take() {
+            crate::trace::record(attach, self.name, self.label, &notes, tid, start, dur);
+        }
+        let m = mode();
+        if m == Mode::Off {
+            return;
+        }
         crate::summary::record(self.name, dur);
-        if mode() == Mode::Full {
+        if m == Mode::Full {
             let start_us = start
                 .saturating_duration_since(epoch())
                 .as_micros()
@@ -202,8 +260,8 @@ impl Drop for SpanGuard {
             let event = SpanEvent {
                 name: self.name,
                 label: self.label,
-                notes: std::mem::take(&mut self.notes),
-                tid: TID.with(|t| *t),
+                notes,
+                tid,
                 depth: self.depth,
                 start_us,
                 dur_us: dur.as_micros().min(u64::MAX as u128) as u64,

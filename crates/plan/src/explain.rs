@@ -10,7 +10,7 @@
 //!   counters are integers, ratios are `f64` printed in Rust's shortest
 //!   round-trip form.
 //! - [`explain_text`] — the human rendering `autobias explain` prints, a
-//!   superset of [`CompiledClause::describe`] that adds decline reasons,
+//!   superset of [`crate::CompiledClause::describe`] that adds decline reasons,
 //!   variant selection counts, and (with analyze data) per-operator
 //!   observed cardinalities and q-errors.
 //!

@@ -42,7 +42,8 @@ pub use compile::{
 pub use exec::ExecScratch;
 pub use explain::{explain_json, explain_text, Analyzed, EXPLAIN_VERSION};
 pub use stats::{
-    q_error, step_q_errors, BatchTally, ClauseTally, PlanStats, StepTally, VariantTally,
+    q_error, step_q_errors, BatchTally, ClauseTally, PlanStats, StepTally, TallyTotals,
+    VariantTally,
 };
 
 use obs::metrics::Counter;

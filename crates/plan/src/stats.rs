@@ -111,6 +111,40 @@ impl BatchTally {
             .map(|c| c.variants.iter().map(|v| v.selected).sum::<u64>())
             .sum()
     }
+
+    /// Totals across every clause, variant, and step of the tally — the
+    /// batch-level summary surfaced by the serve layer (slow ring, access
+    /// log).
+    pub fn totals(&self) -> TallyTotals {
+        let mut t = TallyTotals::default();
+        for ct in &self.clauses {
+            t.backtracks += ct.backtracks;
+            t.node_limit_hits += ct.node_limit_hits;
+            for vt in &ct.variants {
+                for st in &vt.steps {
+                    t.entries += st.entries;
+                    t.candidates += st.candidates;
+                    t.rejected += st.rejected;
+                }
+            }
+        }
+        t
+    }
+}
+
+/// Whole-batch totals from [`BatchTally::totals`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TallyTotals {
+    /// Step entries across all clauses, variants, and steps.
+    pub entries: u64,
+    /// Candidates enumerated across all steps.
+    pub candidates: u64,
+    /// Candidates rejected by residual check ops.
+    pub rejected: u64,
+    /// Backtracks across all clauses.
+    pub backtracks: u64,
+    /// Evaluations refuted by the node budget.
+    pub node_limit_hits: u64,
 }
 
 /// The symmetric estimate-accuracy factor: `max(est/actual, actual/est)`,

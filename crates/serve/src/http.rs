@@ -39,6 +39,9 @@ pub struct Request {
     /// unless `Connection: close`; HTTP/1.0 only with
     /// `Connection: keep-alive`.
     pub keep_alive: bool,
+    /// Raw `traceparent` header value, if the client sent one (W3C Trace
+    /// Context). Parsed later by `obs::trace::parse_traceparent`.
+    pub traceparent: Option<String>,
 }
 
 /// Protocol-level failures while reading a request.
@@ -124,6 +127,7 @@ pub fn read_request_from(reader: &mut impl BufRead) -> Result<Request, HttpError
         .is_some_and(|v| v.eq_ignore_ascii_case("HTTP/1.0"));
 
     let mut content_length = 0usize;
+    let mut traceparent = None;
     for h in lines {
         if h.is_empty() {
             break;
@@ -141,6 +145,8 @@ pub fn read_request_from(reader: &mut impl BufRead) -> Result<Request, HttpError
                 } else if value.eq_ignore_ascii_case("keep-alive") {
                     keep_alive = true;
                 }
+            } else if name.eq_ignore_ascii_case("traceparent") {
+                traceparent = Some(value.trim().to_string());
             }
         }
     }
@@ -161,6 +167,7 @@ pub fn read_request_from(reader: &mut impl BufRead) -> Result<Request, HttpError
         query,
         body,
         keep_alive,
+        traceparent,
     })
 }
 
@@ -198,6 +205,22 @@ pub fn write_response_conn(
     body: &str,
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_extra(stream, status, reason, content_type, body, keep_alive, &[])
+}
+
+/// [`write_response_conn`] with additional response headers — the server
+/// uses this to stamp `x-autobias-trace-id` on every routed response.
+/// Header names and values must be pre-sanitized (no CR/LF).
+#[allow(clippy::too_many_arguments)]
+pub fn write_response_extra(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     // Head and body go out in one write: a split write puts the tiny head
     // packet on the wire alone, and Nagle then holds the body back until the
@@ -206,10 +229,16 @@ pub fn write_response_conn(
         "HTTP/1.1 {status} {reason}\r\n\
          Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
-         Connection: {connection}\r\n\
-         \r\n",
+         Connection: {connection}\r\n",
         body.len()
     );
+    for (name, value) in extra {
+        response.push_str(name);
+        response.push_str(": ");
+        response.push_str(value);
+        response.push_str("\r\n");
+    }
+    response.push_str("\r\n");
     response.push_str(body);
     stream.write_all(response.as_bytes())?;
     stream.flush()
@@ -435,6 +464,51 @@ mod tests {
         assert!(headers
             .iter()
             .any(|(n, v)| n == "connection" && v == "keep-alive"));
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn captures_traceparent_header() {
+        let req = roundtrip(
+            "GET /healthz HTTP/1.1\r\n\
+             Traceparent: 00-0123456789abcdef0123456789abcdef-00000000deadbeef-01\r\n\r\n",
+        )
+        .unwrap();
+        assert_eq!(
+            req.traceparent.as_deref(),
+            Some("00-0123456789abcdef0123456789abcdef-00000000deadbeef-01")
+        );
+        let req = roundtrip("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.traceparent, None);
+    }
+
+    #[test]
+    fn extra_headers_reach_the_client() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            write_response_extra(
+                &mut conn,
+                200,
+                "OK",
+                "text/plain",
+                "ok",
+                true,
+                &[("x-autobias-trace-id", "abc123")],
+            )
+            .unwrap();
+        });
+        let s = TcpStream::connect(addr).unwrap();
+        let mut r = std::io::BufReader::new(s);
+        let (status, headers) = read_response_head(&mut r).unwrap();
+        assert_eq!(status, 200);
+        assert!(headers
+            .iter()
+            .any(|(n, v)| n == "x-autobias-trace-id" && v == "abc123"));
+        let mut body = String::new();
+        r.read_to_string(&mut body).unwrap();
+        assert_eq!(body, "ok");
         server.join().unwrap();
     }
 

@@ -210,6 +210,10 @@ pub struct Job {
     pub id: u64,
     /// Name the learned model is registered under.
     pub model_name: String,
+    /// Trace id (32 hex digits) of the job's span tree; the tree is kept in
+    /// the server's trace store once the job terminates, so a run found in
+    /// `GET /jobs/{id}` resolves at `GET /debug/traces/{trace_id}`.
+    pub trace_id: String,
     /// Live SSE frames of this job's [`ProgressEvent`]s; closed once the
     /// job is terminal, ending any `GET /jobs/{id}/events` streams.
     pub events: Arc<EventLog>,
@@ -260,22 +264,27 @@ impl JobManager {
     /// Spawns a learning job over the shared dataset; the learned model is
     /// written to the registry's directory and inserted into the registry,
     /// and the run report is archived in `ledger` (when given) once the job
-    /// completes.
+    /// completes. When a trace store is given, the job runs under its own
+    /// [`obs::trace::TraceCtx`] and the finished span tree — bias induction,
+    /// BC build, clause search, plan compile — is kept there unconditionally.
     pub fn spawn_learn(
         &self,
         spec: JobSpec,
         ds: Arc<Dataset>,
         registry: Arc<ModelRegistry>,
         ledger: Option<Arc<RunLedger>>,
+        traces: Option<Arc<crate::trace::TraceStore>>,
     ) -> Arc<Job> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
         let model_name = spec
             .model_name
             .clone()
             .unwrap_or_else(|| format!("job-{id}"));
+        let ctx = obs::trace::TraceCtx::begin(None);
         let job = Arc::new(Job {
             id,
             model_name: model_name.clone(),
+            trace_id: ctx.trace_id_hex(),
             events: Arc::new(EventLog::default()),
             status: Mutex::new(JobStatus {
                 state: JobState::Queued,
@@ -306,9 +315,21 @@ impl JobManager {
                 let t0 = Instant::now();
                 worker_job.set_status(|s| s.state = JobState::Running);
                 let result = catch_unwind(AssertUnwindSafe(|| {
+                    // Installed inside the closure so the guard unwinds with
+                    // a panic instead of leaking the thread-local context.
+                    let _traced = ctx.install();
                     run_learn(&worker_job, &spec, &ds, &registry, ledger.as_deref())
                 }));
                 let elapsed = t0.elapsed().as_secs_f64();
+                if let Some(traces) = &traces {
+                    traces.keep(
+                        "job",
+                        0,
+                        t0.elapsed().as_micros() as u64,
+                        crate::trace::KeepReason::Job,
+                        ctx.finish(),
+                    );
+                }
                 match result {
                     Ok(Ok(outcome)) => worker_job.set_status(|s| {
                         s.state = outcome.state;
@@ -502,6 +523,7 @@ fn run_learn(
             ("reduce".to_string(), spec.reduce.to_string()),
         ],
     );
+    report.set_trace_id(job.trace_id.clone());
     let sink = JobSink {
         job,
         report: &report,
@@ -627,7 +649,13 @@ mod tests {
         let ledger = Arc::new(RunLedger::open(dir.join("runs"), RunLedger::DEFAULT_CAP).unwrap());
         let mgr = JobManager::new();
         let spec = JobSpec::parse("name learned\nbias manual\n").unwrap();
-        let job = mgr.spawn_learn(spec, ds.clone(), registry.clone(), Some(ledger.clone()));
+        let job = mgr.spawn_learn(
+            spec,
+            ds.clone(),
+            registry.clone(),
+            Some(ledger.clone()),
+            None,
+        );
         job.wait();
         let status = job.status();
         assert_eq!(status.state, JobState::Done, "{}", status.detail);
@@ -672,6 +700,14 @@ mod tests {
             Some(status.clauses as f64)
         );
         assert_eq!(report.get("dataset").unwrap().as_str(), Some("UW"));
+        // Every job is traced; the archived report correlates back to the
+        // job's span tree via its trace id.
+        assert_eq!(job.trace_id.len(), 32);
+        assert!(job.trace_id.chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(
+            report.get("trace_id").unwrap().as_str(),
+            Some(job.trace_id.as_str())
+        );
         assert_eq!(
             report.path(&["plan", "compiled_clauses"]).unwrap().as_f64(),
             Some(compiled as f64),
@@ -680,7 +716,7 @@ mod tests {
 
         // A pre-cancelled job terminates as cancelled with an empty model.
         let spec = JobSpec::parse("name cancelled-model\nbias manual\n").unwrap();
-        let job2 = mgr.spawn_learn(spec, ds, registry.clone(), None);
+        let job2 = mgr.spawn_learn(spec, ds, registry.clone(), None, None);
         job2.cancel();
         mgr.shutdown();
         let status = job2.status();

@@ -26,10 +26,17 @@
 //!   `GET /jobs/{id}` and as an SSE stream on `GET /jobs/{id}/events`
 //!   ([`events`]), plus an archived JSON run report in a bounded on-disk
 //!   ledger served by `GET /runs/{id}` ([`ledger`]).
+//! - **Traceable.** Every request runs under an [`obs::trace::TraceCtx`]
+//!   (W3C `traceparent` in, `x-autobias-trace-id` out); requests that
+//!   error, fall back to the interpreter, or land above a rolling latency
+//!   threshold keep their full span tree in a bounded store behind
+//!   `GET /debug/traces` ([`trace`]), and an optional JSONL access log
+//!   ([`access_log`]) carries one correlated line per request.
 
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
+pub mod access_log;
 pub mod events;
 pub mod http;
 pub mod jobs;
@@ -39,5 +46,6 @@ pub mod pool;
 pub mod registry;
 pub mod server;
 pub mod slow;
+pub mod trace;
 
 pub use server::{serve, ServeConfig, ServerHandle};

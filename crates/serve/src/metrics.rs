@@ -6,7 +6,8 @@
 //! `GET /metrics`. One scrape shows four families:
 //!
 //! - HTTP traffic: `autobias_requests_total`, `autobias_request_errors_total`,
-//!   `autobias_request_duration_seconds` (owned by [`Metrics`]);
+//!   the per-route `autobias_http_request_duration_seconds` histogram, and
+//!   the `autobias_http_requests_in_flight` gauge (owned by [`Metrics`]);
 //! - pipeline phases: `autobias_phase_duration_seconds{phase="..."}`
 //!   histograms from the [`obs`] span recorder (the server runs it in
 //!   `Summary` mode);
@@ -18,9 +19,32 @@
 //! are escaped per the text-format spec, and histogram `_bucket`/`_sum`/
 //! `_count` invariants hold (cumulative buckets ending in `+Inf` == count).
 //! The unit tests parse the rendered output and check those invariants.
+//!
+//! Exemplars: traced requests leave the last-seen trace id per histogram
+//! bucket, rendered as OpenMetrics-style `# EXEMPLAR <series> trace_id="…"
+//! value=<v>` comment lines after the bucket they annotate — comments, so
+//! plain Prometheus text parsers skip them, while a scraped p999 bucket
+//! still links straight to a stored trace at `/debug/traces/{trace_id}`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
+
+/// The last traced observation that landed in one histogram bucket.
+#[derive(Debug, Clone)]
+struct Exemplar {
+    trace_id: String,
+    value: f64,
+}
+
+/// Writes one `# EXEMPLAR` annotation line for a bucket series.
+fn push_exemplar(out: &mut String, series: &str, ex: &Exemplar) {
+    out.push_str(&format!(
+        "# EXEMPLAR {series} trace_id=\"{}\" value={}\n",
+        escape_label_value(&ex.trace_id),
+        ex.value
+    ));
+}
 
 /// Model artifacts rejected by the static verifier — uploads answered 422
 /// and registry loads skipped for Error-severity findings.
@@ -83,11 +107,30 @@ static QERROR_BUCKET_COUNTS: [AtomicU64; QERROR_BUCKETS.len()] = [
 static QERROR_SUM_MILLIS: AtomicU64 = AtomicU64::new(0);
 static QERROR_COUNT: AtomicU64 = AtomicU64::new(0);
 
+/// Last traced observation per q-error bucket. Only traced requests pay the
+/// (short, uncontended) lock; untraced observations stay lock-free.
+static QERROR_EXEMPLARS: Mutex<[Option<Exemplar>; QERROR_BUCKETS.len()]> =
+    Mutex::new([None, None, None, None, None, None, None, None]);
+
 /// Records one per-step q-error observation.
 pub fn observe_qerror(q: f64) {
+    observe_qerror_traced(q, None);
+}
+
+/// [`observe_qerror`] with the observing request's trace id, kept as the
+/// bucket's exemplar so a scraped outlier links to its stored trace.
+pub fn observe_qerror_traced(q: f64, trace_id: Option<&str>) {
     for (i, &le) in QERROR_BUCKETS.iter().enumerate() {
         if q <= le {
             QERROR_BUCKET_COUNTS[i].fetch_add(1, Ordering::Relaxed);
+            if let Some(id) = trace_id {
+                if let Ok(mut ex) = QERROR_EXEMPLARS.lock() {
+                    ex[i] = Some(Exemplar {
+                        trace_id: id.to_string(),
+                        value: q,
+                    });
+                }
+            }
             break;
         }
     }
@@ -141,6 +184,16 @@ pub enum Endpoint {
     Shutdown,
     /// Anything else (404s, parse failures).
     Other,
+}
+
+/// Stable label value for an endpoint — the `route=` label on the request
+/// histogram, and the route field in access-log lines and stored traces.
+pub fn endpoint_name(endpoint: Endpoint) -> &'static str {
+    ENDPOINTS
+        .iter()
+        .find(|&&(e, _)| e == endpoint)
+        .map(|&(_, name)| name)
+        .unwrap_or("other")
 }
 
 const ENDPOINTS: [(Endpoint, &str); 11] = [
@@ -220,13 +273,29 @@ struct EndpointStats {
 }
 
 /// Process-lifetime request metrics; one instance per server.
-#[derive(Default)]
 pub struct Metrics {
     stats: [EndpointStats; ENDPOINTS.len()],
     /// Streaming responses cut short because the client went away. A
     /// watcher hanging up mid-SSE is normal operation, not a server error,
     /// so these are counted here instead of `request_errors_total`.
     client_disconnects: AtomicU64,
+    /// Requests currently being handled (read → routed → response written).
+    /// Signed so a missed increment can never wrap to 2^64 on the gauge.
+    in_flight: AtomicI64,
+    /// Last traced observation per (endpoint, latency bucket); locked only
+    /// by traced requests and the scrape.
+    exemplars: Mutex<[[Option<Exemplar>; BUCKETS.len()]; ENDPOINTS.len()]>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self {
+            stats: Default::default(),
+            client_disconnects: AtomicU64::new(0),
+            in_flight: AtomicI64::new(0),
+            exemplars: Mutex::new(Default::default()),
+        }
+    }
 }
 
 impl Metrics {
@@ -244,7 +313,20 @@ impl Metrics {
 
     /// Records one finished request.
     pub fn observe(&self, endpoint: Endpoint, latency: Duration, is_error: bool) {
-        let s = &self.stats[Self::idx(endpoint)];
+        self.observe_traced(endpoint, latency, is_error, None);
+    }
+
+    /// [`observe`](Metrics::observe) with the request's trace id, kept as
+    /// the latency bucket's exemplar.
+    pub fn observe_traced(
+        &self,
+        endpoint: Endpoint,
+        latency: Duration,
+        is_error: bool,
+        trace_id: Option<&str>,
+    ) {
+        let ei = Self::idx(endpoint);
+        let s = &self.stats[ei];
         s.requests.fetch_add(1, Ordering::Relaxed);
         if is_error {
             s.errors.fetch_add(1, Ordering::Relaxed);
@@ -253,11 +335,36 @@ impl Metrics {
         for (i, &le) in BUCKETS.iter().enumerate() {
             if secs <= le {
                 s.bucket_counts[i].fetch_add(1, Ordering::Relaxed);
+                if let Some(id) = trace_id {
+                    if let Ok(mut ex) = self.exemplars.lock() {
+                        ex[ei][i] = Some(Exemplar {
+                            trace_id: id.to_string(),
+                            value: secs,
+                        });
+                    }
+                }
                 break;
             }
         }
         s.sum_micros
             .fetch_add(latency.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Marks one request as started; pair with
+    /// [`in_flight_dec`](Metrics::in_flight_dec) on every exit path
+    /// (including connection write errors).
+    pub fn in_flight_inc(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one request as finished.
+    pub fn in_flight_dec(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Requests currently in flight.
+    pub fn in_flight(&self) -> i64 {
+        self.in_flight.load(Ordering::Relaxed)
     }
 
     /// Total requests seen on one endpoint.
@@ -304,27 +411,41 @@ impl Metrics {
         }
 
         out.push_str(
-            "# HELP autobias_request_duration_seconds Request latency, by endpoint.\n\
-             # TYPE autobias_request_duration_seconds histogram\n",
+            "# HELP autobias_http_request_duration_seconds Request latency, by route.\n\
+             # TYPE autobias_http_request_duration_seconds histogram\n",
         );
+        let exemplars = self.exemplars.lock().map(|g| g.clone()).unwrap_or_default();
         for (i, &(_, name)) in ENDPOINTS.iter().enumerate() {
             let s = &self.stats[i];
             let name = escape_label_value(name);
             let mut cumulative = 0u64;
             for (bi, &le) in BUCKETS.iter().enumerate() {
                 cumulative += s.bucket_counts[bi].load(Ordering::Relaxed);
-                out.push_str(&format!(
-                    "autobias_request_duration_seconds_bucket{{endpoint=\"{name}\",le=\"{}\"}} {cumulative}\n",
+                let series = format!(
+                    "autobias_http_request_duration_seconds_bucket{{route=\"{name}\",le=\"{}\"}}",
                     fmt_le(le)
-                ));
+                );
+                out.push_str(&format!("{series} {cumulative}\n"));
+                if let Some(ex) = &exemplars[i][bi] {
+                    push_exemplar(&mut out, &series, ex);
+                }
             }
             let sum = s.sum_micros.load(Ordering::Relaxed) as f64 / 1e6;
             let count = s.requests.load(Ordering::Relaxed);
             out.push_str(&format!(
-                "autobias_request_duration_seconds_sum{{endpoint=\"{name}\"}} {sum}\n\
-                 autobias_request_duration_seconds_count{{endpoint=\"{name}\"}} {count}\n"
+                "autobias_http_request_duration_seconds_sum{{route=\"{name}\"}} {sum}\n\
+                 autobias_http_request_duration_seconds_count{{route=\"{name}\"}} {count}\n"
             ));
         }
+
+        out.push_str(
+            "# HELP autobias_http_requests_in_flight Requests currently being handled.\n\
+             # TYPE autobias_http_requests_in_flight gauge\n",
+        );
+        out.push_str(&format!(
+            "autobias_http_requests_in_flight {}\n",
+            self.in_flight.load(Ordering::Relaxed)
+        ));
 
         out.push_str(
             "# HELP autobias_client_disconnects_total Streaming responses cut short because the client hung up (not errors).\n\
@@ -396,13 +517,21 @@ fn render_qerror_histogram(out: &mut String) {
         "# HELP autobias_plan_estimate_qerror Per-step q-error (max(est/actual, actual/est)) of compile-time cardinality estimates.\n\
          # TYPE autobias_plan_estimate_qerror histogram\n",
     );
+    let exemplars = QERROR_EXEMPLARS
+        .lock()
+        .map(|g| g.clone())
+        .unwrap_or_default();
     let mut cumulative = 0u64;
     for (i, &le) in QERROR_BUCKETS.iter().enumerate() {
         cumulative += QERROR_BUCKET_COUNTS[i].load(Ordering::Relaxed);
-        out.push_str(&format!(
-            "autobias_plan_estimate_qerror_bucket{{le=\"{}\"}} {cumulative}\n",
+        let series = format!(
+            "autobias_plan_estimate_qerror_bucket{{le=\"{}\"}}",
             fmt_le(le)
-        ));
+        );
+        out.push_str(&format!("{series} {cumulative}\n"));
+        if let Some(ex) = &exemplars[i] {
+            push_exemplar(out, &series, ex);
+        }
     }
     out.push_str(&format!(
         "autobias_plan_estimate_qerror_sum {}\n\
@@ -479,11 +608,12 @@ mod tests {
         assert!(text.contains("autobias_request_errors_total{endpoint=\"predict\"} 1"));
         // 500µs lands in the 0.001 bucket; cumulative counts reach 2 at +Inf.
         assert!(text.contains(
-            "autobias_request_duration_seconds_bucket{endpoint=\"predict\",le=\"0.001\"} 1"
+            "autobias_http_request_duration_seconds_bucket{route=\"predict\",le=\"0.001\"} 1"
         ));
         assert!(text.contains(
-            "autobias_request_duration_seconds_bucket{endpoint=\"predict\",le=\"+Inf\"} 2"
+            "autobias_http_request_duration_seconds_bucket{route=\"predict\",le=\"+Inf\"} 2"
         ));
+        assert!(text.contains("autobias_http_requests_in_flight 0"));
         assert!(text.contains("autobias_models_loaded 3"));
         assert!(text.contains("autobias_core_subsumption_tests_total"));
         // The coverage-cache counters ride the same registry: a scrape shows
@@ -577,6 +707,125 @@ mod tests {
         assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
         assert_eq!(escape_label_value("plain"), "plain");
         assert_eq!(escape_help("line1\nline2 \\x"), "line1\\nline2 \\\\x");
+    }
+
+    /// Inverse of [`escape_label_value`] per the text-format spec, used to
+    /// prove the escaping below round-trips.
+    fn unescape_label_value(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        let mut chars = s.chars();
+        while let Some(c) = chars.next() {
+            if c != '\\' {
+                out.push(c);
+                continue;
+            }
+            match chars.next() {
+                Some('\\') => out.push('\\'),
+                Some('"') => out.push('"'),
+                Some('n') => out.push('\n'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        }
+        out
+    }
+
+    /// Conformance check for dynamic label values: model names carrying
+    /// every character the text format requires escaping (`"`, `\`, `\n`)
+    /// must render as single physical lines whose label values round-trip.
+    #[test]
+    fn dynamic_label_values_survive_hostile_model_names() {
+        let hostile = "we\"ird\\mo\ndel";
+        let m = Metrics::new();
+        let text = m.render(
+            &[],
+            &[ModelPlanSample {
+                name: hostile.into(),
+                compiled: 4,
+                fallback: 2,
+            }],
+        );
+        // One physical line per sample — the newline must have been escaped.
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("autobias_plan_compiled_total{model="))
+            .expect("labeled sample rendered");
+        assert_eq!(
+            line,
+            "autobias_plan_compiled_total{model=\"we\\\"ird\\\\mo\\ndel\"} 4"
+        );
+        // The escaped value parses back to the original name.
+        let escaped = line
+            .strip_prefix("autobias_plan_compiled_total{model=\"")
+            .unwrap()
+            .strip_suffix("\"} 4")
+            .unwrap();
+        assert_eq!(unescape_label_value(escaped), hostile);
+        // Every rendered line is intact: no stray unescaped newline left a
+        // dangling fragment that fails to parse as comment or sample.
+        for l in text.lines() {
+            if l.is_empty() || l.starts_with('#') {
+                continue;
+            }
+            assert!(
+                l.rsplit_once(' ')
+                    .is_some_and(|(_, v)| v.parse::<f64>().is_ok()),
+                "unparsable sample line: {l:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_observations_render_exemplar_annotations() {
+        let m = Metrics::new();
+        m.observe_traced(
+            Endpoint::Predict,
+            Duration::from_micros(400),
+            false,
+            Some("cafe0000000000000000000000000001"),
+        );
+        observe_qerror_traced(2.5, Some("cafe0000000000000000000000000001"));
+        let text = m.render(&[], &[]);
+        let latency_ex = text.lines().find(|l| {
+            l.starts_with(
+                "# EXEMPLAR autobias_http_request_duration_seconds_bucket{route=\"predict\"",
+            )
+        });
+        let ex = latency_ex.expect("latency exemplar rendered");
+        assert!(ex.contains("le=\"0.001\""));
+        assert!(ex.contains("trace_id=\"cafe0000000000000000000000000001\""));
+        assert!(ex.contains("value=0.0004"));
+        let qerror_ex = text
+            .lines()
+            .find(|l| l.starts_with("# EXEMPLAR autobias_plan_estimate_qerror_bucket{le=\"4\"}"))
+            .expect("q-error exemplar rendered");
+        assert!(qerror_ex.contains("trace_id=\"cafe0000000000000000000000000001\""));
+        // Each exemplar line follows the bucket it annotates.
+        let lines: Vec<&str> = text.lines().collect();
+        let pos = lines.iter().position(|l| *l == ex).unwrap();
+        assert!(lines[pos - 1].starts_with(
+            "autobias_http_request_duration_seconds_bucket{route=\"predict\",le=\"0.001\"}"
+        ));
+        // Untraced observations never overwrite an exemplar with nothing.
+        m.observe(Endpoint::Predict, Duration::from_micros(300), false);
+        let text = m.render(&[], &[]);
+        assert!(text.contains("trace_id=\"cafe0000000000000000000000000001\""));
+    }
+
+    #[test]
+    fn in_flight_gauge_tracks_inc_dec() {
+        let m = Metrics::new();
+        m.in_flight_inc();
+        m.in_flight_inc();
+        m.in_flight_dec();
+        assert_eq!(m.in_flight(), 1);
+        let text = m.render(&[], &[]);
+        assert!(text.contains("autobias_http_requests_in_flight 1"));
+        m.in_flight_dec();
+        assert_eq!(m.in_flight(), 0);
     }
 
     /// Family name of a sample line: the metric name with any histogram

@@ -10,8 +10,9 @@
 //! loop with a loopback connection, and the server drains: queued
 //! connections finish, job threads are cancelled and joined.
 
+use crate::access_log::{AccessLog, AccessRecord};
 use crate::http::{
-    finish_chunked, read_request_from, write_chunk, write_response, write_response_conn,
+    finish_chunked, read_request_from, write_chunk, write_response, write_response_extra,
     write_stream_head, HttpError, Request, MAX_REQUESTS_PER_CONN,
 };
 use crate::jobs::{JobManager, JobSpec};
@@ -19,6 +20,7 @@ use crate::ledger::RunLedger;
 use crate::metrics::{Endpoint, GaugeSample, Metrics};
 use crate::pool::WorkerPool;
 use crate::registry::{ModelEntry, ModelRegistry};
+use crate::trace::TraceStore;
 use autobias::example::parse_arg_tuple;
 use autobias::query::{clause_covers_args, definition_covers_args, EvalScratch, QueryConfig};
 use datasets::io::load_dataset;
@@ -43,6 +45,12 @@ pub struct ServeConfig {
     pub models_dir: PathBuf,
     /// Connection-handling worker threads.
     pub threads: usize,
+    /// JSONL access log path (`--access-log FILE`); `None` disables.
+    pub access_log: Option<PathBuf>,
+    /// Per-request tracing (traceparent in, `x-autobias-trace-id` out,
+    /// tail-sampled span trees). On by default; `AUTOBIAS_TRACE=0` or the
+    /// bench harness turn it off to measure the untraced fast path.
+    pub request_trace: bool,
 }
 
 impl Default for ServeConfig {
@@ -52,6 +60,8 @@ impl Default for ServeConfig {
             data_dir: PathBuf::from("data"),
             models_dir: PathBuf::from("models"),
             threads: 4,
+            access_log: None,
+            request_trace: std::env::var("AUTOBIAS_TRACE").map_or(true, |v| v != "0"),
         }
     }
 }
@@ -63,6 +73,9 @@ struct AppState {
     ledger: Arc<RunLedger>,
     metrics: Metrics,
     slow: crate::slow::SlowRing,
+    traces: Arc<TraceStore>,
+    access_log: Option<AccessLog>,
+    request_trace: bool,
     shutting_down: AtomicBool,
     addr: SocketAddr,
 }
@@ -118,6 +131,13 @@ pub fn serve(cfg: &ServeConfig) -> Result<(ServerHandle, crate::registry::Reload
         .map_err(|e| format!("runs dir {}: {e}", runs_dir.display()))?;
     let listener = TcpListener::bind(&cfg.addr).map_err(|e| format!("bind {}: {e}", cfg.addr))?;
     let addr = listener.local_addr().map_err(|e| e.to_string())?;
+    let access_log = match &cfg.access_log {
+        Some(path) => Some(
+            AccessLog::open(path.clone(), crate::access_log::DEFAULT_MAX_BYTES)
+                .map_err(|e| format!("access log {}: {e}", path.display()))?,
+        ),
+        None => None,
+    };
 
     let state = Arc::new(AppState {
         ds: Arc::new(ds),
@@ -125,7 +145,10 @@ pub fn serve(cfg: &ServeConfig) -> Result<(ServerHandle, crate::registry::Reload
         jobs: JobManager::new(),
         ledger: Arc::new(ledger),
         metrics: Metrics::new(),
-        slow: crate::slow::SlowRing::default(),
+        slow: crate::slow::SlowRing::from_env(),
+        traces: Arc::new(TraceStore::open(Some(cfg.models_dir.join("traces")))),
+        access_log,
+        request_trace: cfg.request_trace,
         shutting_down: AtomicBool::new(false),
         addr,
     });
@@ -165,6 +188,24 @@ pub fn serve(cfg: &ServeConfig) -> Result<(ServerHandle, crate::registry::Reload
         },
         report,
     ))
+}
+
+/// RAII in-flight marker: the gauge decrements on every exit path out of
+/// the request block — including a keep-alive client vanishing mid-write —
+/// so `autobias_http_requests_in_flight` can never drift upward.
+struct InFlightGuard<'a>(&'a Metrics);
+
+impl<'a> InFlightGuard<'a> {
+    fn new(metrics: &'a Metrics) -> Self {
+        metrics.in_flight_inc();
+        Self(metrics)
+    }
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight_dec();
+    }
 }
 
 fn handle_connection(state: &Arc<AppState>, mut conn: TcpStream) {
@@ -207,25 +248,99 @@ fn handle_connection(state: &Arc<AppState>, mut conn: TcpStream) {
             crate::metrics::KEEPALIVE_REUSES.bump();
         }
         served += 1;
+        let _in_flight = InFlightGuard::new(&state.metrics);
         if req.method == "GET" && req.path.starts_with("/jobs/") && req.path.ends_with("/events") {
             // The SSE stream owns the connection until it ends, and always
             // closes (its chunked response advertises `Connection: close`).
             return handle_events_stream(state, &mut conn, &req, t0);
         }
-        let r = route(state, &req);
+        // Every request gets its own trace tree: continue the client's trace
+        // when it sent a `traceparent`, mint a fresh id otherwise. Installing
+        // the context makes every `obs::span!` below (routing, plan
+        // execution) record into this request's tree.
+        let trace = state.request_trace.then(|| {
+            obs::trace::TraceCtx::begin(req.traceparent.as_deref().and_then(obs::parse_traceparent))
+        });
+        let trace_hex = trace.as_ref().map(|c| c.trace_id_hex()).unwrap_or_default();
+        let trace_id = (!trace_hex.is_empty()).then_some(trace_hex.as_str());
+        let r = {
+            let _installed = trace.as_ref().map(|c| c.install());
+            let mut root = obs::span!("http.request");
+            let r = route(state, &req, trace_id);
+            root.note("status", r.status as u64);
+            r
+        };
         let keep = req.keep_alive
             && served < MAX_REQUESTS_PER_CONN
             && r.endpoint != Endpoint::Shutdown
             && !state.shutting_down.load(Ordering::SeqCst);
+        let latency = t0.elapsed();
+        let latency_us = latency.as_micros() as u64;
         state
             .metrics
-            .observe(r.endpoint, t0.elapsed(), r.status >= 400);
-        let wrote =
-            write_response_conn(&mut conn, r.status, r.reason, r.content_type, &r.body, keep);
+            .observe_traced(r.endpoint, latency, r.status >= 400, trace_id);
+        let route_name = crate::metrics::endpoint_name(r.endpoint);
+        // Tail sampling: the finished tree is kept only when the request is
+        // worth a postmortem (error / interpreter fallback / slow outlier).
+        let mut kept_reason = None;
+        if let Some(ctx) = trace {
+            let fallback = r.predict.as_ref().is_some_and(|p| p.interpreter_fallback);
+            if let Some(reason) = state.traces.keep_reason(r.status, fallback, latency_us) {
+                state
+                    .traces
+                    .keep(route_name, r.status, latency_us, reason, ctx.finish());
+                kept_reason = Some(reason);
+            }
+        }
+        if let Some(log) = &state.access_log {
+            log.log(&AccessRecord {
+                trace_id: &trace_hex,
+                route: route_name,
+                method: &req.method,
+                path: &req.path,
+                status: r.status,
+                latency_us,
+                model: r.predict.as_ref().map(|p| p.model.as_str()),
+                engine: r.predict.as_ref().map(|p| p.engine),
+                tuples: r.predict.as_ref().map(|p| p.tuples),
+                plan: r.predict.as_ref().and_then(|p| p.plan),
+                kept: kept_reason.map(crate::trace::KeepReason::as_str),
+            });
+        }
+        let trace_header = [("x-autobias-trace-id", trace_hex.as_str())];
+        let extra: &[(&str, &str)] = if trace_id.is_some() {
+            &trace_header
+        } else {
+            &[]
+        };
+        let wrote = write_response_extra(
+            &mut conn,
+            r.status,
+            r.reason,
+            r.content_type,
+            &r.body,
+            keep,
+            extra,
+        );
         if wrote.is_err() || !keep {
             return;
         }
     }
+}
+
+/// Prediction context surfaced out of [`handle_predict`] so the connection
+/// loop can correlate the access-log line and the tail sampler's keep
+/// decision with what the batch actually did.
+struct PredictInfo {
+    model: String,
+    engine: &'static str,
+    tuples: u64,
+    /// A compiled model's declined clauses ran through the interpreter for
+    /// at least one tuple — one of the tail sampler's keep triggers.
+    interpreter_fallback: bool,
+    /// Plan-tally totals when stats were collected:
+    /// (entries, candidates, rejected, backtracks, node-limit hits).
+    plan: Option<(u64, u64, u64, u64, u64)>,
 }
 
 /// A routed response. Most routes speak `text/plain`; the model-upload
@@ -236,6 +351,7 @@ struct Routed {
     reason: &'static str,
     content_type: &'static str,
     body: String,
+    predict: Option<PredictInfo>,
 }
 
 impl Routed {
@@ -246,6 +362,7 @@ impl Routed {
             reason,
             content_type: "application/json",
             body,
+            predict: None,
         }
     }
 }
@@ -266,6 +383,18 @@ fn handle_events_stream(state: &Arc<AppState>, conn: &mut TcpStream, req: &Reque
         return;
     };
     if write_stream_head(conn, 200, "OK", "text/event-stream").is_err() {
+        state.metrics.disconnect();
+        state.metrics.observe(Endpoint::Events, t0.elapsed(), false);
+        return;
+    }
+    // Lead with the job's trace id so a watcher can correlate the stream
+    // with the archived trace (`GET /debug/traces/{trace_id}`) before any
+    // progress event arrives.
+    let trace_frame = format!(
+        "event: trace\ndata: {{\"event\":\"trace\",\"trace_id\":\"{}\"}}\n\n",
+        job.trace_id
+    );
+    if write_chunk(conn, trace_frame.as_bytes()).is_err() {
         state.metrics.disconnect();
         state.metrics.observe(Endpoint::Events, t0.elapsed(), false);
         return;
@@ -325,6 +454,8 @@ endpoints:
   GET  /models/{name}/plan EXPLAIN the model's compiled plans as JSON (?analyze=1 adds runtime stats)
   POST /predict            body: `model NAME` then one CSV tuple per line
   GET  /debug/slow         worst-latency /predict batches (bounded ring, JSON)
+  GET  /debug/traces       tail-sampled request traces (newest first, JSON)
+  GET  /debug/traces/{id}  one kept span tree (?format=chrome for a chrome-trace export)
   POST /jobs/learn         start a background learning job (key value lines)
   GET  /jobs               list jobs
   GET  /jobs/{id}          poll one job (includes live progress)
@@ -335,13 +466,35 @@ endpoints:
   POST /shutdown           drain and stop
 ";
 
-fn route(state: &Arc<AppState>, req: &Request) -> Routed {
+fn route(state: &Arc<AppState>, req: &Request, trace_id: Option<&str>) -> Routed {
     // JSON-speaking routes are intercepted before the plain-text router:
-    // model upload, plan EXPLAIN, and the slow-request recorder.
+    // model upload, plan EXPLAIN, and the debug recorders (slow ring, trace
+    // store). The predict path is intercepted too so its batch context
+    // (model, engine, fallback, plan totals) reaches the connection loop.
     if matches!(req.method.as_str(), "POST" | "PUT") {
         if let Some(name) = req.path.strip_prefix("/models/") {
             return handle_model_upload(state, name, &req.body);
         }
+    }
+    if req.method == "POST" && req.path == "/predict" {
+        return match handle_predict(state, &req.body, trace_id) {
+            Ok((body, info)) => Routed {
+                endpoint: Endpoint::Predict,
+                status: 200,
+                reason: "OK",
+                content_type: "text/plain; charset=utf-8",
+                body,
+                predict: Some(info),
+            },
+            Err((status, reason, body)) => Routed {
+                endpoint: Endpoint::Predict,
+                status,
+                reason,
+                content_type: "text/plain; charset=utf-8",
+                body,
+                predict: None,
+            },
+        };
     }
     if req.method == "GET" {
         if let Some(name) = req
@@ -359,6 +512,37 @@ fn route(state: &Arc<AppState>, req: &Request) -> Routed {
                 format!("{}\n", state.slow.to_json()),
             );
         }
+        if req.path == "/debug/traces" {
+            return Routed::json(
+                Endpoint::Debug,
+                200,
+                "OK",
+                format!("{}\n", state.traces.list_json()),
+            );
+        }
+        if let Some(id) = req.path.strip_prefix("/debug/traces/") {
+            let chrome = req.query.split('&').any(|kv| kv == "format=chrome");
+            let doc = if chrome {
+                state.traces.get_chrome(id)
+            } else {
+                state.traces.get_json(id)
+            };
+            return match doc {
+                Some(doc) => Routed::json(Endpoint::Debug, 200, "OK", format!("{doc}\n")),
+                None => Routed::json(
+                    Endpoint::Debug,
+                    404,
+                    "Not Found",
+                    format!(
+                        "{}\n",
+                        obs::json::Json::Obj(vec![(
+                            "error".to_string(),
+                            obs::json::Json::Str(format!("no kept trace {id}")),
+                        )])
+                    ),
+                ),
+            };
+        }
     }
     let (endpoint, status, reason, body) = route_text(state, req);
     Routed {
@@ -367,6 +551,7 @@ fn route(state: &Arc<AppState>, req: &Request) -> Routed {
         reason,
         content_type: "text/plain; charset=utf-8",
         body,
+        predict: None,
     }
 }
 
@@ -575,10 +760,6 @@ fn route_text(state: &Arc<AppState>, req: &Request) -> (Endpoint, u16, &'static 
             }
             (Endpoint::Models, 200, "OK", out)
         }
-        ("POST", "/predict") => match handle_predict(state, &req.body) {
-            Ok(body) => (Endpoint::Predict, 200, "OK", body),
-            Err((status, reason, msg)) => (Endpoint::Predict, status, reason, msg),
-        },
         ("POST", "/jobs/learn") => {
             if state.shutting_down.load(Ordering::SeqCst) {
                 return (
@@ -595,12 +776,16 @@ fn route_text(state: &Arc<AppState>, req: &Request) -> (Endpoint, u16, &'static 
                         state.ds.clone(),
                         state.registry.clone(),
                         Some(state.ledger.clone()),
+                        Some(state.traces.clone()),
                     );
                     (
                         Endpoint::Jobs,
                         202,
                         "Accepted",
-                        format!("id {}\nmodel {}\n", job.id, job.model_name),
+                        format!(
+                            "id {}\nmodel {}\ntrace {}\n",
+                            job.id, job.model_name, job.trace_id
+                        ),
                     )
                 }
                 Err(e) => (Endpoint::Jobs, 400, "Bad Request", format!("{e}\n")),
@@ -699,9 +884,10 @@ fn parse_job_id(path: &str, suffix: &str) -> Option<u64> {
 fn render_job(job: &crate::jobs::Job) -> String {
     let s = job.status();
     let mut out = format!(
-        "id {}\nmodel {}\nstate {}\nclauses {}\nuncovered {}\niteration {}\nprogress {}/{}\n",
+        "id {}\nmodel {}\ntrace {}\nstate {}\nclauses {}\nuncovered {}\niteration {}\nprogress {}/{}\n",
         job.id,
         job.model_name,
+        job.trace_id,
         s.state.as_str(),
         s.clauses,
         s.uncovered_pos,
@@ -740,7 +926,8 @@ fn render_job(job: &crate::jobs::Job) -> String {
 fn handle_predict(
     state: &Arc<AppState>,
     body: &str,
-) -> Result<String, (u16, &'static str, String)> {
+    trace_id: Option<&str>,
+) -> Result<(String, PredictInfo), (u16, &'static str, String)> {
     let mut lines = body
         .lines()
         .map(str::trim)
@@ -822,6 +1009,8 @@ fn handle_predict(
     let t_batch = Instant::now();
     let engine;
     let mut ops = crate::slow::SlowOpSummary::default();
+    let mut plan_totals = None;
+    let mut interpreter_fallback = false;
     if let Some(plans) = compiled {
         engine = "compiled";
         let mut sp = obs::span!("predict.compiled_batch");
@@ -859,24 +1048,27 @@ fn handle_predict(
         }
         sp.note("tuples", echo.len() as u64);
         crate::metrics::PREDICT_INTERPRETED_TUPLES.add(interpreted);
+        interpreter_fallback = interpreted > 0;
         if let (Some(stats), Some(tally)) = (stats, tally.as_ref()) {
             stats.absorb(tally);
             let q_errors = plan::step_q_errors(plans, tally);
             for &q in &q_errors {
-                crate::metrics::observe_qerror(q);
+                crate::metrics::observe_qerror_traced(q, trace_id);
             }
             crate::metrics::PLAN_VARIANT_SELECTIONS.add(tally.multi_variant_selections());
-            for ct in &tally.clauses {
-                ops.backtracks += ct.backtracks;
-                ops.node_limit_hits += ct.node_limit_hits;
-                for vt in &ct.variants {
-                    for st in &vt.steps {
-                        ops.entries += st.entries;
-                        ops.candidates += st.candidates;
-                        ops.rejected += st.rejected;
-                    }
-                }
-            }
+            let totals = tally.totals();
+            ops.entries = totals.entries;
+            ops.candidates = totals.candidates;
+            ops.rejected = totals.rejected;
+            ops.backtracks = totals.backtracks;
+            ops.node_limit_hits = totals.node_limit_hits;
+            plan_totals = Some((
+                totals.entries,
+                totals.candidates,
+                totals.rejected,
+                totals.backtracks,
+                totals.node_limit_hits,
+            ));
             ops.max_qerror = q_errors
                 .iter()
                 .copied()
@@ -900,6 +1092,7 @@ fn handle_predict(
         t_batch.elapsed().as_micros() as u64,
         name,
         engine,
+        trace_id.unwrap_or(""),
         echo.len(),
         &echo[0],
         ops,
@@ -912,5 +1105,12 @@ fn handle_predict(
             if *covered { "positive" } else { "negative" }
         ));
     }
-    Ok(out)
+    let info = PredictInfo {
+        model: name.to_string(),
+        engine,
+        tuples: echo.len() as u64,
+        interpreter_fallback,
+        plan: plan_totals,
+    };
+    Ok((out, info))
 }

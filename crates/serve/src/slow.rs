@@ -20,11 +20,27 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// Number of slow batches retained.
+/// Default number of slow batches retained (override with
+/// `AUTOBIAS_SLOW_CAP`).
 pub const SLOW_RING_CAP: usize = 16;
+
+/// Largest capacity `AUTOBIAS_SLOW_CAP` may request — each retained entry
+/// holds strings, so the ring stays small enough to clone per scrape.
+pub const SLOW_RING_CAP_MAX: usize = 1024;
 
 /// Arguments sample is cut to this many bytes.
 const ARGS_SAMPLE_MAX: usize = 120;
+
+/// Ring capacity from the `AUTOBIAS_SLOW_CAP` environment variable, clamped
+/// to `1..=`[`SLOW_RING_CAP_MAX`]; [`SLOW_RING_CAP`] when unset or
+/// unparsable.
+pub fn cap_from_env() -> usize {
+    std::env::var("AUTOBIAS_SLOW_CAP")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map(|n| n.clamp(1, SLOW_RING_CAP_MAX))
+        .unwrap_or(SLOW_RING_CAP)
+}
 
 /// One recorded slow batch.
 #[derive(Debug, Clone)]
@@ -37,6 +53,10 @@ pub struct SlowEntry {
     pub model: String,
     /// `"compiled"` or `"interpreted"`.
     pub engine: &'static str,
+    /// Trace id of the request that carried the batch (empty when the
+    /// request was not traced), correlating the entry with the access log
+    /// and `/debug/traces`.
+    pub trace_id: String,
     /// Tuples in the batch.
     pub tuples: usize,
     /// Truncated rendering of the first tuple's arguments.
@@ -102,13 +122,26 @@ impl SlowRing {
         }
     }
 
+    /// An empty ring sized from `AUTOBIAS_SLOW_CAP` (see [`cap_from_env`]).
+    pub fn from_env() -> Self {
+        Self::with_capacity(cap_from_env())
+    }
+
+    /// Retention capacity of this ring.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// Offers one finished batch. Cheap when the batch is faster than
-    /// everything retained: one relaxed load, no lock.
+    /// everything retained: one relaxed load, no lock. `trace_id` is the
+    /// owning request's trace id (empty when untraced).
+    #[allow(clippy::too_many_arguments)]
     pub fn record(
         &self,
         latency_us: u64,
         model: &str,
         engine: &'static str,
+        trace_id: &str,
         tuples: usize,
         args_sample: &str,
         ops: SlowOpSummary,
@@ -143,6 +176,7 @@ impl SlowRing {
             latency_us,
             model: model.to_string(),
             engine,
+            trace_id: trace_id.to_string(),
             tuples,
             args_sample: sample,
             entries: ops.entries,
@@ -178,6 +212,7 @@ impl SlowRing {
                     ("latency_us".into(), Json::Num(e.latency_us as f64)),
                     ("model".into(), Json::Str(e.model)),
                     ("engine".into(), Json::Str(e.engine.to_string())),
+                    ("trace_id".into(), Json::Str(e.trace_id)),
                     ("tuples".into(), Json::Num(e.tuples as f64)),
                     ("args_sample".into(), Json::Str(e.args_sample)),
                     ("entries".into(), Json::Num(e.entries as f64)),
@@ -212,6 +247,7 @@ mod tests {
             latency_us,
             "m",
             "compiled",
+            "",
             1,
             "a,b",
             SlowOpSummary::default(),
@@ -249,6 +285,7 @@ mod tests {
             9,
             "uw",
             "compiled",
+            "cafe0000000000000000000000000002",
             3,
             &long,
             SlowOpSummary {
@@ -270,7 +307,35 @@ mod tests {
         let slow = parsed.get("slow").unwrap().as_arr().unwrap();
         assert_eq!(slow.len(), 1);
         assert_eq!(slow[0].get("model").unwrap().as_str(), Some("uw"));
+        assert_eq!(
+            slow[0].get("trace_id").unwrap().as_str(),
+            Some("cafe0000000000000000000000000002")
+        );
         assert_eq!(slow[0].get("max_qerror").unwrap().as_f64(), Some(2.5));
         assert_eq!(slow[0].get("candidates").unwrap().as_f64(), Some(12.0));
+    }
+
+    /// `AUTOBIAS_SLOW_CAP` sizes the ring, clamped to a sane range; unset
+    /// or garbage falls back to the default. (Env mutation is process-wide,
+    /// so every case runs inside this one test.)
+    #[test]
+    fn cap_comes_from_env_clamped() {
+        let key = "AUTOBIAS_SLOW_CAP";
+        let prev = std::env::var(key).ok();
+        std::env::remove_var(key);
+        assert_eq!(cap_from_env(), SLOW_RING_CAP);
+        std::env::set_var(key, "64");
+        assert_eq!(cap_from_env(), 64);
+        assert_eq!(SlowRing::from_env().cap(), 64);
+        std::env::set_var(key, "0");
+        assert_eq!(cap_from_env(), 1, "clamped up");
+        std::env::set_var(key, "9999999");
+        assert_eq!(cap_from_env(), SLOW_RING_CAP_MAX, "clamped down");
+        std::env::set_var(key, "not-a-number");
+        assert_eq!(cap_from_env(), SLOW_RING_CAP);
+        match prev {
+            Some(v) => std::env::set_var(key, v),
+            None => std::env::remove_var(key),
+        }
     }
 }

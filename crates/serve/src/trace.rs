@@ -1,0 +1,457 @@
+//! Tail-sampled trace store behind `GET /debug/traces`.
+//!
+//! Every request records its span tree into an [`obs::trace::TraceCtx`];
+//! keeping every tree would be wasteful, so this store samples from the
+//! *tail* — a finished tree is retained only when the request is worth a
+//! postmortem:
+//!
+//! - it **errored** (status ≥ 400),
+//! - it **fell back** to the clause interpreter (a compiled plan declined),
+//! - or it landed **above a rolling latency threshold** — an EWMA of recent
+//!   request latencies times a multiplier, with a floor so quiet servers
+//!   don't archive every request (`AUTOBIAS_TRACE_SLOW_US` pins the floor,
+//!   which CI uses to force-keep requests).
+//!
+//! Kept traces live in a bounded in-memory deque (newest first; capacity
+//! `AUTOBIAS_TRACE_CAP`, default [`TraceStore::DEFAULT_CAP`]) and, when the
+//! store is opened with a directory, as JSON documents on disk — both the
+//! span tree (`<trace_id>.json`) and the chrome-trace export
+//! (`<trace_id>.chrome.json`, loadable in Perfetto) — pruned oldest-first
+//! past `AUTOBIAS_TRACE_DISK_CAP` pairs.
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use obs::json::Json;
+use obs::trace::TraceTree;
+
+/// Why a trace was kept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeepReason {
+    /// The request answered with status ≥ 400.
+    Error,
+    /// A compiled plan declined and the interpreter ran instead.
+    InterpreterFallback,
+    /// Latency landed above the rolling threshold.
+    Slow,
+    /// Kept unconditionally (learn jobs archive their tree).
+    Job,
+}
+
+impl KeepReason {
+    /// Stable string for JSON payloads.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KeepReason::Error => "error",
+            KeepReason::InterpreterFallback => "interpreter_fallback",
+            KeepReason::Slow => "slow",
+            KeepReason::Job => "job",
+        }
+    }
+}
+
+/// One retained trace with its request context.
+#[derive(Debug, Clone)]
+pub struct StoredTrace {
+    /// Route label (the metrics endpoint name, or `"job"`).
+    pub route: &'static str,
+    /// Response status (0 for job traces).
+    pub status: u16,
+    /// Request wall-clock latency in microseconds.
+    pub latency_us: u64,
+    /// Why the tail sampler kept it.
+    pub reason: KeepReason,
+    /// The finished span tree.
+    pub tree: TraceTree,
+}
+
+/// Bounded tail-sampling trace store; one per server.
+pub struct TraceStore {
+    cap: usize,
+    disk_cap: usize,
+    dir: Option<PathBuf>,
+    /// Newest first.
+    entries: Mutex<VecDeque<StoredTrace>>,
+    /// Trace ids written to disk, oldest first, for pruning.
+    disk_files: Mutex<VecDeque<String>>,
+    /// EWMA of request latency in microseconds (×[`EWMA_SCALE`] for
+    /// fixed-point storage in an atomic).
+    ewma_us_scaled: AtomicU64,
+    /// Latency floor below which nothing is "slow".
+    slow_floor_us: u64,
+    kept: AtomicU64,
+    observed: AtomicU64,
+}
+
+/// Fixed-point scale for the latency EWMA.
+const EWMA_SCALE: u64 = 16;
+/// EWMA smoothing: each observation moves the mean by 1/16 of the delta.
+const EWMA_SHIFT: u32 = 4;
+/// A request is "slow" at this multiple of the rolling mean.
+const SLOW_MULTIPLIER: u64 = 4;
+
+impl TraceStore {
+    /// Default in-memory retention.
+    pub const DEFAULT_CAP: usize = 64;
+    /// Default on-disk retention (pairs of tree + chrome documents).
+    pub const DEFAULT_DISK_CAP: usize = 256;
+    /// Default slow floor: below this latency nothing is kept as "slow"
+    /// regardless of the rolling mean.
+    pub const DEFAULT_SLOW_FLOOR_US: u64 = 10_000;
+
+    /// A store sized from the environment, optionally persisting kept
+    /// traces under `dir` (created on first write).
+    pub fn open(dir: Option<PathBuf>) -> Self {
+        let cap = env_usize("AUTOBIAS_TRACE_CAP", Self::DEFAULT_CAP).clamp(1, 4096);
+        let disk_cap = env_usize("AUTOBIAS_TRACE_DISK_CAP", Self::DEFAULT_DISK_CAP).clamp(1, 65536);
+        let slow_floor_us = std::env::var("AUTOBIAS_TRACE_SLOW_US")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(Self::DEFAULT_SLOW_FLOOR_US);
+        Self {
+            cap,
+            disk_cap,
+            dir,
+            entries: Mutex::new(VecDeque::new()),
+            disk_files: Mutex::new(VecDeque::new()),
+            ewma_us_scaled: AtomicU64::new(0),
+            slow_floor_us,
+            kept: AtomicU64::new(0),
+            observed: AtomicU64::new(0),
+        }
+    }
+
+    /// In-memory capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Traces kept so far.
+    pub fn kept(&self) -> u64 {
+        self.kept.load(Ordering::Relaxed)
+    }
+
+    /// Current slow threshold in microseconds: the larger of the floor and
+    /// `SLOW_MULTIPLIER`× the rolling mean latency.
+    pub fn slow_threshold_us(&self) -> u64 {
+        let mean = self.ewma_us_scaled.load(Ordering::Relaxed) / EWMA_SCALE;
+        self.slow_floor_us.max(mean.saturating_mul(SLOW_MULTIPLIER))
+    }
+
+    /// Feeds one finished request into the rolling latency estimate and
+    /// decides whether its trace should be kept. Called for every request,
+    /// kept or not, so the threshold tracks real traffic.
+    pub fn keep_reason(
+        &self,
+        status: u16,
+        interpreter_fallback: bool,
+        latency_us: u64,
+    ) -> Option<KeepReason> {
+        self.observed.fetch_add(1, Ordering::Relaxed);
+        let threshold = self.slow_threshold_us();
+        // EWMA update after the threshold read: the request that first
+        // crosses the threshold is judged against traffic before it.
+        let scaled = latency_us.saturating_mul(EWMA_SCALE);
+        let prev = self.ewma_us_scaled.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            scaled
+        } else {
+            // prev + (x - prev)/16, in fixed point; saturating on both ends.
+            let delta = (scaled as i128 - prev as i128) >> EWMA_SHIFT;
+            (prev as i128 + delta).max(0) as u64
+        };
+        self.ewma_us_scaled.store(next, Ordering::Relaxed);
+        if status >= 400 {
+            Some(KeepReason::Error)
+        } else if interpreter_fallback {
+            Some(KeepReason::InterpreterFallback)
+        } else if latency_us >= threshold {
+            Some(KeepReason::Slow)
+        } else {
+            None
+        }
+    }
+
+    /// Retains one finished trace (already judged by
+    /// [`keep_reason`](TraceStore::keep_reason), or kept unconditionally
+    /// for jobs). Evicts the oldest in-memory entry past the cap and prunes
+    /// on-disk documents past the disk cap.
+    pub fn keep(
+        &self,
+        route: &'static str,
+        status: u16,
+        latency_us: u64,
+        reason: KeepReason,
+        tree: TraceTree,
+    ) {
+        self.kept.fetch_add(1, Ordering::Relaxed);
+        let stored = StoredTrace {
+            route,
+            status,
+            latency_us,
+            reason,
+            tree,
+        };
+        self.persist(&stored);
+        let mut entries = self.entries.lock().expect("trace store poisoned");
+        entries.push_front(stored);
+        while entries.len() > self.cap {
+            entries.pop_back();
+        }
+    }
+
+    fn persist(&self, stored: &StoredTrace) {
+        let Some(dir) = &self.dir else {
+            return;
+        };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let id = &stored.tree.trace_id;
+        let tree_path = dir.join(format!("{id}.json"));
+        let chrome_path = dir.join(format!("{id}.chrome.json"));
+        let doc = stored_trace_json(stored).to_string();
+        if std::fs::write(&tree_path, doc).is_err() {
+            return;
+        }
+        let _ = std::fs::write(&chrome_path, stored.tree.to_chrome());
+        let mut files = self.disk_files.lock().expect("trace store poisoned");
+        files.push_back(id.clone());
+        while files.len() > self.disk_cap {
+            if let Some(old) = files.pop_front() {
+                let _ = std::fs::remove_file(dir.join(format!("{old}.json")));
+                let _ = std::fs::remove_file(dir.join(format!("{old}.chrome.json")));
+            }
+        }
+    }
+
+    /// The `GET /debug/traces` body: newest-first summaries plus the
+    /// store's sampling state.
+    pub fn list_json(&self) -> String {
+        let entries = self.entries.lock().expect("trace store poisoned");
+        let traces = entries
+            .iter()
+            .map(|t| {
+                Json::Obj(vec![
+                    ("trace_id".into(), Json::Str(t.tree.trace_id.clone())),
+                    ("route".into(), Json::Str(t.route.to_string())),
+                    ("status".into(), Json::Num(t.status as f64)),
+                    ("latency_us".into(), Json::Num(t.latency_us as f64)),
+                    ("reason".into(), Json::Str(t.reason.as_str().to_string())),
+                    ("spans".into(), Json::Num(t.tree.spans.len() as f64)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("cap".into(), Json::Num(self.cap as f64)),
+            ("kept".into(), Json::Num(self.kept() as f64)),
+            (
+                "observed".into(),
+                Json::Num(self.observed.load(Ordering::Relaxed) as f64),
+            ),
+            (
+                "slow_threshold_us".into(),
+                Json::Num(self.slow_threshold_us() as f64),
+            ),
+            ("traces".into(), Json::Arr(traces)),
+        ])
+        .to_string()
+    }
+
+    /// The `GET /debug/traces/{id}` body: the stored span tree with its
+    /// request context, from memory or (for evicted traces) from disk.
+    /// `None` when the id was never kept or has been pruned everywhere.
+    pub fn get_json(&self, trace_id: &str) -> Option<String> {
+        {
+            let entries = self.entries.lock().expect("trace store poisoned");
+            if let Some(t) = entries.iter().find(|t| t.tree.trace_id == trace_id) {
+                return Some(stored_trace_json(t).to_string());
+            }
+        }
+        self.read_disk(trace_id, "json")
+    }
+
+    /// The `?format=chrome` body for one trace: chrome-trace JSON, from
+    /// memory or disk.
+    pub fn get_chrome(&self, trace_id: &str) -> Option<String> {
+        {
+            let entries = self.entries.lock().expect("trace store poisoned");
+            if let Some(t) = entries.iter().find(|t| t.tree.trace_id == trace_id) {
+                return Some(t.tree.to_chrome());
+            }
+        }
+        self.read_disk(trace_id, "chrome.json")
+    }
+
+    fn read_disk(&self, trace_id: &str, ext: &str) -> Option<String> {
+        // Ids are hex, so a path traversal cannot hide in one — but check
+        // anyway: this string came off the wire.
+        if !trace_id.chars().all(|c| c.is_ascii_hexdigit()) {
+            return None;
+        }
+        let dir = self.dir.as_ref()?;
+        std::fs::read_to_string(dir.join(format!("{trace_id}.{ext}"))).ok()
+    }
+}
+
+/// Serializes one stored trace: request context wrapping the span tree.
+fn stored_trace_json(t: &StoredTrace) -> Json {
+    Json::Obj(vec![
+        ("trace_id".into(), Json::Str(t.tree.trace_id.clone())),
+        ("route".into(), Json::Str(t.route.to_string())),
+        ("status".into(), Json::Num(t.status as f64)),
+        ("latency_us".into(), Json::Num(t.latency_us as f64)),
+        ("reason".into(), Json::Str(t.reason.as_str().to_string())),
+        ("tree".into(), t.tree.to_json()),
+    ])
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::trace::TraceCtx;
+
+    fn tree_with_one_span(name_suffix: &'static str) -> TraceTree {
+        let ctx = TraceCtx::begin(None);
+        {
+            let _g = ctx.install();
+            let _sp = obs::span!(name_suffix);
+        }
+        ctx.finish()
+    }
+
+    fn fresh_store() -> TraceStore {
+        TraceStore {
+            cap: 4,
+            disk_cap: 2,
+            dir: None,
+            entries: Mutex::new(VecDeque::new()),
+            disk_files: Mutex::new(VecDeque::new()),
+            ewma_us_scaled: AtomicU64::new(0),
+            slow_floor_us: TraceStore::DEFAULT_SLOW_FLOOR_US,
+            kept: AtomicU64::new(0),
+            observed: AtomicU64::new(0),
+        }
+    }
+
+    #[test]
+    fn errors_and_fallbacks_always_keep() {
+        let s = fresh_store();
+        assert_eq!(s.keep_reason(500, false, 10), Some(KeepReason::Error));
+        assert_eq!(s.keep_reason(422, false, 10), Some(KeepReason::Error));
+        assert_eq!(
+            s.keep_reason(200, true, 10),
+            Some(KeepReason::InterpreterFallback)
+        );
+        assert_eq!(s.keep_reason(200, false, 10), None);
+    }
+
+    #[test]
+    fn slow_keeps_only_above_rolling_threshold() {
+        let s = fresh_store();
+        // Fast traffic: never slow (under the floor).
+        for _ in 0..50 {
+            assert_eq!(s.keep_reason(200, false, 100), None);
+        }
+        // The floor dominates while the mean is tiny.
+        assert_eq!(s.slow_threshold_us(), TraceStore::DEFAULT_SLOW_FLOOR_US);
+        // A genuine outlier above the floor is kept.
+        assert_eq!(
+            s.keep_reason(200, false, 50_000),
+            Some(KeepReason::Slow),
+            "outlier above the floor"
+        );
+        // Sustained slow traffic raises the mean and thus the threshold.
+        for _ in 0..200 {
+            let _ = s.keep_reason(200, false, 200_000);
+        }
+        assert!(
+            s.slow_threshold_us() > 400_000,
+            "threshold tracks the mean: {}",
+            s.slow_threshold_us()
+        );
+        assert_eq!(
+            s.keep_reason(200, false, 250_000),
+            None,
+            "no longer an outlier once the fleet is slow"
+        );
+    }
+
+    #[test]
+    fn bounded_memory_and_list_get_round_trip() {
+        let s = fresh_store();
+        let mut ids = Vec::new();
+        for _ in 0..6 {
+            let tree = tree_with_one_span("test.store_span");
+            ids.push(tree.trace_id.clone());
+            s.keep("predict", 200, 123, KeepReason::Slow, tree);
+        }
+        let listed = Json::parse(&s.list_json()).unwrap();
+        let traces = listed.get("traces").unwrap().as_arr().unwrap();
+        assert_eq!(traces.len(), 4, "bounded to cap");
+        // Newest first.
+        assert_eq!(
+            traces[0].get("trace_id").unwrap().as_str(),
+            Some(ids[5].as_str())
+        );
+        // Evicted ids are gone; retained ones resolve with a parented tree.
+        assert!(s.get_json(&ids[0]).is_none());
+        let doc = s.get_json(&ids[5]).unwrap();
+        let parsed = Json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("reason").unwrap().as_str(), Some("slow"));
+        let spans = parsed.path(&["tree", "spans"]).unwrap().as_arr().unwrap();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(
+            spans[0].get("name").unwrap().as_str(),
+            Some("test.store_span")
+        );
+        // Chrome export for a retained trace.
+        let chrome = s.get_chrome(&ids[5]).unwrap();
+        assert!(chrome.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn disk_persistence_survives_memory_eviction_and_prunes() {
+        let dir = std::env::temp_dir().join(format!(
+            "autobias-trace-store-{}-{}",
+            std::process::id(),
+            obs::trace::new_trace_id() as u64
+        ));
+        let mut s = fresh_store();
+        s.dir = Some(dir.clone());
+        let mut ids = Vec::new();
+        for _ in 0..6 {
+            let tree = tree_with_one_span("test.disk_span");
+            ids.push(tree.trace_id.clone());
+            s.keep("predict", 500, 9, KeepReason::Error, tree);
+        }
+        // disk_cap = 2: only the newest two pairs remain on disk.
+        let remaining: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(
+            remaining.len(),
+            4,
+            "2 traces × (tree + chrome): {remaining:?}"
+        );
+        // ids[4] fell out of memory? cap=4 keeps ids[2..6]; drop them all to
+        // prove the disk path serves evicted-but-persisted ids.
+        s.entries.lock().unwrap().clear();
+        assert!(s.get_json(&ids[5]).is_some(), "served from disk");
+        assert!(s.get_chrome(&ids[5]).is_some(), "chrome from disk");
+        assert!(s.get_json(&ids[0]).is_none(), "pruned from disk");
+        // Hostile id never touches the filesystem.
+        assert!(s.get_json("../../etc/passwd").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -79,6 +79,8 @@ fn upload_admission_and_rejection() {
         data_dir: data,
         models_dir: models.clone(),
         threads: 2,
+        access_log: None,
+        request_trace: true,
     };
     let (handle, report) = serve(&cfg).expect("boot");
     assert!(report.errors.is_empty(), "{:?}", report.errors);

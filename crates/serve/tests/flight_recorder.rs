@@ -130,6 +130,8 @@ fn flight_recorder_end_to_end() {
         data_dir: data.clone(),
         models_dir: models.clone(),
         threads: 4,
+        access_log: None,
+        request_trace: true,
     };
     let (handle, _) = serve(&cfg).expect("server boots");
     let addr = handle.addr();
@@ -145,10 +147,14 @@ fn flight_recorder_end_to_end() {
 
     let events = read_sse(addr, &format!("/jobs/{id}/events"));
     assert!(
-        events.len() >= 3,
-        "expected at least bc_build + iteration + finished, got {events:?}"
+        events.len() >= 4,
+        "expected at least trace + bc_build + iteration + finished, got {events:?}"
     );
-    assert_eq!(events[0].0, "bc_build_finished");
+    // Every stream leads with the job's trace id so a watcher can correlate
+    // the SSE feed with /debug/traces/{id}.
+    assert_eq!(events[0].0, "trace");
+    assert!(events[0].1.contains("trace_id"), "{:?}", events[0]);
+    assert_eq!(events[1].0, "bc_build_finished");
     assert_eq!(events.last().unwrap().0, "finished");
     let accepted = events
         .iter()

@@ -89,11 +89,14 @@ fn poll_job(addr: SocketAddr, id: &str, deadline: Duration) -> String {
 #[test]
 fn full_server_lifecycle() {
     let (data, models) = setup_dirs("lifecycle");
+    let access_log = data.parent().unwrap().join("access.jsonl");
     let cfg = ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         data_dir: data.clone(),
         models_dir: models.clone(),
         threads: 4,
+        access_log: Some(access_log.clone()),
+        request_trace: true,
     };
     let (handle, report) = serve(&cfg).expect("server boots");
     assert_eq!(report.loaded, vec!["coauthor"]);
@@ -181,6 +184,47 @@ fn full_server_lifecycle() {
         "404 should list the API: {body}"
     );
 
+    // --- request tracing: a traceparent-continued errored request is
+    // tail-sampled and retrievable by its trace id ---
+    let client_trace = "cafe000000000000000000000000feed";
+    let traced_body = "model nosuch\na, b\n";
+    let mut conn = TcpStream::connect(addr).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "POST /predict HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\
+         traceparent: 00-{client_trace}-00000000000000ab-01\r\nConnection: close\r\n\r\n",
+        traced_body.len()
+    );
+    conn.write_all(head.as_bytes()).unwrap();
+    conn.write_all(traced_body.as_bytes()).unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).unwrap();
+    assert!(
+        raw.contains(&format!("x-autobias-trace-id: {client_trace}")),
+        "response must echo the continued trace id: {raw}"
+    );
+    let (status, listing) = request(addr, "GET", "/debug/traces", "");
+    assert_eq!(status, 200, "{listing}");
+    assert!(listing.contains(client_trace), "{listing}");
+    let (status, tree) = request(addr, "GET", &format!("/debug/traces/{client_trace}"), "");
+    assert_eq!(status, 200, "{tree}");
+    assert!(tree.contains("\"reason\":\"error\""), "{tree}");
+    assert!(
+        tree.contains("\"http.request\""),
+        "root span in tree: {tree}"
+    );
+    let (status, chrome) = request(
+        addr,
+        "GET",
+        &format!("/debug/traces/{client_trace}?format=chrome"),
+        "",
+    );
+    assert_eq!(status, 200, "{chrome}");
+    assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+    let (status, body) = request(addr, "GET", "/debug/traces/0000deadbeef", "");
+    assert_eq!(status, 404, "{body}");
+
     // --- background learning job to completion ---
     let (status, body) = request(addr, "POST", "/jobs/learn", "name learned\nbias manual\n");
     assert_eq!(status, 202, "{body}");
@@ -189,8 +233,30 @@ fn full_server_lifecycle() {
         .find_map(|l| l.strip_prefix("id "))
         .expect("job id")
         .to_string();
+    let job_trace = body
+        .lines()
+        .find_map(|l| l.strip_prefix("trace "))
+        .expect("job trace id")
+        .to_string();
     let final_status = poll_job(addr, &id, Duration::from_secs(120));
     assert!(final_status.contains("state done"), "{final_status}");
+    assert!(
+        final_status.contains(&format!("trace {job_trace}")),
+        "{final_status}"
+    );
+    // The finished job's span tree (BC build, clause search) is kept
+    // unconditionally in the trace store.
+    let (status, job_tree) = request(addr, "GET", &format!("/debug/traces/{job_trace}"), "");
+    assert_eq!(status, 200, "{job_tree}");
+    assert!(job_tree.contains("\"reason\":\"job\""), "{job_tree}");
+    assert!(job_tree.contains("\"learn\""), "{job_tree}");
+    // The archived run report carries the same trace id.
+    let (status, run_report) = request(addr, "GET", &format!("/runs/{id}"), "");
+    assert_eq!(status, 200, "{run_report}");
+    assert!(
+        run_report.contains(&format!("\"trace_id\": \"{job_trace}\"")),
+        "{run_report}"
+    );
     let (_, body) = request(addr, "GET", "/models", "");
     assert!(body.contains("learned\t"), "{body}");
     assert!(models.join("learned.model").exists());
@@ -256,7 +322,20 @@ fn full_server_lifecycle() {
         "predict counter {predict_total} < sent {sent}"
     );
     assert!(metrics
-        .contains("autobias_request_duration_seconds_bucket{endpoint=\"predict\",le=\"+Inf\"}"));
+        .contains("autobias_http_request_duration_seconds_bucket{route=\"predict\",le=\"+Inf\"}"));
+    // The /metrics request itself is the one request in flight.
+    assert!(
+        metrics.contains("autobias_http_requests_in_flight 1"),
+        "{metrics}"
+    );
+    // Traced predict requests leave trace-id exemplars on the latency
+    // histogram (later traced requests may rotate which id a bucket holds,
+    // so assert presence, not a specific id).
+    assert!(
+        metrics
+            .contains("# EXEMPLAR autobias_http_request_duration_seconds_bucket{route=\"predict\""),
+        "{metrics}"
+    );
     assert!(metrics.contains("autobias_core_coverage_queries_total"));
     // coauthor + learned + tas + the cancelled job's partial "doomed" model.
     assert!(metrics.contains("autobias_models_loaded 4"), "{metrics}");
@@ -269,6 +348,19 @@ fn full_server_lifecycle() {
     assert!(
         TcpStream::connect(addr).is_err(),
         "listener must be closed after shutdown"
+    );
+
+    // --- the access log carries one correlated line per request ---
+    let access = std::fs::read_to_string(&access_log).expect("access log written");
+    assert!(
+        access
+            .lines()
+            .any(|l| l.contains(client_trace) && l.contains("\"route\":\"predict\"")),
+        "traced predict line in access log:\n{access}"
+    );
+    assert!(
+        access.lines().any(|l| l.contains("\"status\":404")),
+        "{access}"
     );
 
     let _ = std::fs::remove_dir_all(data.parent().unwrap());

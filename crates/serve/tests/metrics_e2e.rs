@@ -93,6 +93,8 @@ fn metrics_expose_phase_histograms_and_core_counters() {
         data_dir: data,
         models_dir: models,
         threads: 2,
+        access_log: None,
+        request_trace: true,
     };
     let (handle, _report) = serve(&cfg).expect("server boots");
     let addr = handle.addr();

@@ -88,6 +88,8 @@ fn explain_analyze_slow_ring_and_metrics() {
         data_dir: data.clone(),
         models_dir: models.clone(),
         threads: 2,
+        access_log: None,
+        request_trace: true,
     };
     let (handle, report) = serve(&cfg).expect("server boots");
     assert_eq!(report.loaded, vec!["coauthor"]);

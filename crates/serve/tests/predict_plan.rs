@@ -150,6 +150,8 @@ fn compiled_and_interpreted_predict_are_byte_identical() {
         data_dir: data.clone(),
         models_dir: models.clone(),
         threads: 1,
+        access_log: None,
+        request_trace: true,
     };
     let (handle, report) = serve(&cfg).expect("server boots");
     assert_eq!(report.loaded, vec!["coauthor"]);
@@ -193,6 +195,8 @@ fn compiled_and_interpreted_predict_are_byte_identical() {
                 data_dir: data.clone(),
                 models_dir: models.clone(),
                 threads,
+                access_log: None,
+                request_trace: true,
             };
             let (h, report) = serve(&cfg).expect("8-thread server boots");
             assert_eq!(report.loaded, vec!["coauthor", "learned"]);
