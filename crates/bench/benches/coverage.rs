@@ -51,7 +51,7 @@ fn bench_reuse_vs_rebuild(c: &mut Criterion) {
             for i in 0..20 {
                 let mut rng = StdRng::seed_from_u64(i as u64);
                 let ground = build_bottom_clause(&ds.db, &bias, &ds.pos[i], &cfg, &mut rng).ground;
-                if theta_subsumes(&clause, &ground, &SubsumeConfig::default(), &mut rng) {
+                if theta_subsumes(&clause, &ground, &SubsumeConfig::default()) {
                     hits += 1;
                 }
             }

@@ -59,13 +59,11 @@ fn bench_clause_length(c: &mut Criterion) {
     for k in [2u32, 8, 16, 32] {
         let clause = chain_clause(k);
         group.bench_with_input(BenchmarkId::from_parameter(k), &clause, |b, clause| {
-            let mut rng = StdRng::seed_from_u64(3);
             b.iter(|| {
                 black_box(theta_subsumes(
                     black_box(clause),
                     &ground,
                     &SubsumeConfig::default(),
-                    &mut rng,
                 ))
             })
         });
@@ -82,15 +80,7 @@ fn bench_ground_size(c: &mut Criterion) {
             BenchmarkId::from_parameter(ground.len()),
             &ground,
             |b, ground| {
-                let mut rng = StdRng::seed_from_u64(3);
-                b.iter(|| {
-                    black_box(theta_subsumes(
-                        &clause,
-                        ground,
-                        &SubsumeConfig::default(),
-                        &mut rng,
-                    ))
-                })
+                b.iter(|| black_box(theta_subsumes(&clause, ground, &SubsumeConfig::default())))
             },
         );
     }
@@ -135,8 +125,7 @@ fn bench_restarts_ablation(c: &mut Criterion) {
         ),
     ] {
         group.bench_function(name, |b| {
-            let mut rng = StdRng::seed_from_u64(5);
-            b.iter(|| black_box(theta_subsumes(&clause, &ground, &cfg, &mut rng)))
+            b.iter(|| black_box(theta_subsumes(&clause, &ground, &cfg)))
         });
     }
     group.finish();

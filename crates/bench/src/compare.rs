@@ -30,7 +30,7 @@ use obs::json::Json;
 /// Counters gated by [`compare`]: positive in the baseline ⇒ must stay
 /// positive in the fresh run. Deliberately a "still engaged" check, not a
 /// ratio — counter magnitudes shift with legitimate search-order changes.
-const GATED_COUNTERS: [&str; 4] = [
+const GATED_COUNTERS: [&str; 7] = [
     "autobias_core_coverage_cache_hits_total",
     "autobias_plan_compiled_total",
     "autobias_http_keepalive_reuses_total",
@@ -38,6 +38,13 @@ const GATED_COUNTERS: [&str; 4] = [
     // pipeline was on; a fresh run where it reads zero has silently lost
     // EXPLAIN ANALYZE (and the estimate-accuracy feedback loop with it).
     "autobias_plan_estimate_qerror_count",
+    // The bitset subsumption engine and the constraint-driven beam pruner
+    // (DESIGN.md §15): a baseline that exercised them but a fresh run that
+    // reads zero means the run silently fell back to the legacy engine or
+    // lost pruning — the coverage.theta phase tolerance assumes both.
+    "autobias_core_subsume_domain_words_total",
+    "autobias_core_subsume_components_split_total",
+    "autobias_core_candidates_pruned_by_constraint_total",
 ];
 
 /// Serving-benchmark throughput metrics (`BENCH_serve_*.json`): a fresh
@@ -411,6 +418,49 @@ mod tests {
         .unwrap();
         assert!(out.passed());
         assert_eq!(out.checks, 2); // time + quality only
+    }
+
+    #[test]
+    fn silently_disabled_subsume_engine_or_pruner_fails_the_counter_gate() {
+        let doc = |words: u64, pruned: u64| {
+            Json::parse(&format!(
+                r#"{{"dataset": "UW", "methods": {{
+                    "AutoBias": {{
+                        "f_measure": 0.9, "time_secs": 10.0, "phases": {{}},
+                        "counters": {{
+                            "autobias_core_subsume_domain_words_total": {words},
+                            "autobias_core_subsume_components_split_total": {words},
+                            "autobias_core_candidates_pruned_by_constraint_total": {pruned}
+                        }}
+                    }}
+                }}}}"#
+            ))
+            .unwrap()
+        };
+        let base = doc(27_000_000, 54);
+        // Magnitudes may move freely as long as both stay engaged.
+        assert!(compare(&base, &doc(9, 1), &CompareConfig::default())
+            .unwrap()
+            .passed());
+        // Legacy-engine fallback: domain-word and component counters at zero.
+        let out = compare(&base, &doc(0, 54), &CompareConfig::default()).unwrap();
+        let whats: Vec<&str> = out.regressions.iter().map(|r| r.what.as_str()).collect();
+        assert_eq!(
+            whats,
+            vec![
+                "counter:autobias_core_subsume_domain_words_total",
+                "counter:autobias_core_subsume_components_split_total",
+            ],
+            "{:?}",
+            out.regressions
+        );
+        // Pruning off: the constraint-store counter reads zero.
+        let out = compare(&base, &doc(5, 0), &CompareConfig::default()).unwrap();
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(
+            out.regressions[0].what,
+            "counter:autobias_core_candidates_pruned_by_constraint_total"
+        );
     }
 
     #[test]

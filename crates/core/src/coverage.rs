@@ -231,7 +231,6 @@ pub struct CoverageEngine {
     /// Ground BCs for the negatives (their variable-ized form is never needed).
     pub neg: Vec<GroundClause>,
     scfg: SubsumeConfig,
-    seed: u64,
     /// Canonical-clause memo table; `None` when `AUTOBIAS_COVERAGE_CACHE=0`
     /// (read once at build time).
     memo: Option<Mutex<CoverageMemo>>,
@@ -261,7 +260,6 @@ impl CoverageEngine {
             pos,
             neg,
             scfg,
-            seed,
             memo,
         }
     }
@@ -297,17 +295,17 @@ impl CoverageEngine {
 
     /// Whether `clause` covers positive example `i`. Raw single-example
     /// test: no canonicalization, no memo — armg's prefix probes land here
-    /// and are effectively never repeated.
+    /// and are effectively never repeated. The subsumption engine derives
+    /// its own restart RNG from `(clause, example)`, so the answer is a pure
+    /// function of the inputs — no per-call RNG to thread.
     pub fn covers_pos(&self, clause: &Clause, i: usize) -> bool {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ (i as u64) << 1);
-        theta_subsumes(clause, &self.pos[i].ground, &self.scfg, &mut rng)
+        theta_subsumes(clause, &self.pos[i].ground, &self.scfg)
     }
 
     /// Whether `clause` covers negative example `i` (raw, like
     /// [`CoverageEngine::covers_pos`]).
     pub fn covers_neg(&self, clause: &Clause, i: usize) -> bool {
-        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xabcd ^ (i as u64) << 1);
-        theta_subsumes(clause, &self.neg[i], &self.scfg, &mut rng)
+        theta_subsumes(clause, &self.neg[i], &self.scfg)
     }
 
     /// Positives among `candidates` covered by `clause`, as a bitset over

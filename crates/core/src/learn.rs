@@ -6,7 +6,7 @@ use crate::bottom::BcConfig;
 use crate::clause::{Clause, Definition};
 use crate::coverage::{Bitset, CoverageEngine};
 use crate::example::TrainingSet;
-use crate::generalize::{learn_clause, GenConfig};
+use crate::generalize::{learn_clause, ConstraintStore, GenConfig};
 use crate::subsume::SubsumeConfig;
 use obs::progress::{NullSink, ProgressEvent, ProgressSink};
 use rand::rngs::StdRng;
@@ -201,6 +201,10 @@ impl Learner {
         let mut uncovered: Vec<usize> = (0..train.pos.len()).collect();
         let mut definition = Definition::new();
         let mut iteration = 0usize;
+        // Failure constraints persist across covering iterations: the
+        // uncovered set only shrinks, so zero-positive claims stay valid,
+        // and negative lower bounds are against the fixed negative set.
+        let mut constraints = ConstraintStore::new();
 
         while !uncovered.is_empty() && definition.len() < self.cfg.max_clauses {
             if cancel.load(Ordering::Relaxed) {
@@ -223,8 +227,14 @@ impl Learner {
             });
             let mut gen_cfg = self.cfg.gen;
             gen_cfg.deadline = deadline;
-            let (clause, cstats) =
-                learn_clause(&engine, seed_example, &uncovered, &gen_cfg, &mut rng);
+            let (clause, cstats) = learn_clause(
+                &engine,
+                seed_example,
+                &uncovered,
+                &gen_cfg,
+                &mut constraints,
+                &mut rng,
+            );
             sink.on_event(&ProgressEvent::ClauseSearched {
                 iteration,
                 beam_iterations: cstats.iterations,

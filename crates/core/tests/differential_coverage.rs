@@ -183,7 +183,7 @@ proptest! {
         for example in &world.examples {
             let bc = full_bc(&world, example, &mut rng);
             for clause in &world.clauses {
-                let by_subsumption = theta_subsumes(clause, &bc, &scfg, &mut rng);
+                let by_subsumption = theta_subsumes(clause, &bc, &scfg);
                 let by_query = clause_covers(&world.db, clause, example, &qcfg);
                 prop_assert_eq!(
                     by_subsumption,
@@ -217,8 +217,8 @@ proptest! {
             for clause in &world.clauses {
                 let canon = canonical_form(clause);
                 prop_assert_eq!(
-                    theta_subsumes(clause, &bc, &scfg, &mut rng),
-                    theta_subsumes(&canon, &bc, &scfg, &mut rng),
+                    theta_subsumes(clause, &bc, &scfg),
+                    theta_subsumes(&canon, &bc, &scfg),
                     "seed {}: subsumption changed under canonicalization of {}",
                     world.seed,
                     clause.render(&world.db)
@@ -290,7 +290,7 @@ fn oracles_agree_on_known_world() {
         )
         .ground;
         assert_eq!(
-            theta_subsumes(&clause, &bc, &scfg, &mut rng),
+            theta_subsumes(&clause, &bc, &scfg),
             *expected,
             "subsumption wrong on {}",
             example.render(&db)

@@ -1,0 +1,347 @@
+//! Differential test oracle for the θ-subsumption *engines*: on randomly
+//! generated databases, the bitset forward-checking CSP and the legacy
+//! randomized backtracker must return identical answers with an unbounded
+//! budget, and both must agree with exact SPJ evaluation against full
+//! depth-2 ground bottom clauses — three independent implementations of
+//! coverage pinned against each other (paper §5).
+//!
+//! The clause generator chains literals mode-by-mode (as in
+//! `differential_coverage.rs`), which also produces bodies that split into
+//! several connected components over unbound variables — literals touching
+//! only head variables detach from each other once the head binds — so the
+//! component-decomposition path is exercised by the property itself and by
+//! a directed multi-component test below.
+
+#![allow(clippy::unwrap_used)] // tests assert; unwraps are the point
+#![cfg(not(miri))] // proptest-heavy: hundreds of cases, far too slow under miri
+
+use autobias::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relstore::{Database, RelId};
+
+/// Schema: `r(a, b)` joined forward, `s(a, b)` joined either way, unary
+/// `u(a)`, and the target `t(a, b)`. Single type so everything can join.
+const BIAS_TEXT: &str = "
+pred r(T1, T1)
+pred s(T1, T1)
+pred u(T1)
+pred t(T1, T1)
+mode r(+, -)
+mode s(+, -)
+mode s(-, +)
+mode u(+)
+";
+
+struct World {
+    db: Database,
+    bias: LanguageBias,
+    examples: Vec<Example>,
+    clauses: Vec<Clause>,
+    seed: u64,
+}
+
+#[derive(Clone, Copy)]
+struct Rels {
+    r: RelId,
+    s: RelId,
+    u: RelId,
+    t: RelId,
+}
+
+fn build_world(seed: u64, n_consts: usize, n_r: usize, n_s: usize) -> World {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = Database::new();
+    let r = db.add_relation("r", &["a", "b"]);
+    let s = db.add_relation("s", &["a", "b"]);
+    let u = db.add_relation("u", &["a"]);
+    let t = db.add_relation("t", &["a", "b"]);
+    let rels = Rels { r, s, u, t };
+
+    let names: Vec<String> = (0..n_consts).map(|i| format!("c{i}")).collect();
+    // Intern every constant so examples can name it; the target relation's
+    // contents are never probed (no mode on `t`), so this is inert.
+    for name in &names {
+        db.insert(t, &[name, name]);
+    }
+    let pick = |rng: &mut StdRng| rng.random_range(0..n_consts);
+    for _ in 0..n_r {
+        let (a, b) = (pick(&mut rng), pick(&mut rng));
+        db.insert(r, &[&names[a], &names[b]]);
+    }
+    for _ in 0..n_s {
+        let (a, b) = (pick(&mut rng), pick(&mut rng));
+        db.insert(s, &[&names[a], &names[b]]);
+    }
+    for name in &names {
+        if rng.random_range(0..2u32) == 0 {
+            db.insert(u, &[name]);
+        }
+    }
+    db.build_indexes();
+
+    let consts: Vec<_> = names.iter().map(|n| db.lookup(n).unwrap()).collect();
+    let examples: Vec<Example> = (0..5)
+        .map(|_| {
+            let (a, b) = (rng.random_range(0..n_consts), rng.random_range(0..n_consts));
+            Example::new(t, vec![consts[a], consts[b]])
+        })
+        .collect();
+    let clauses: Vec<Clause> = (0..6).map(|_| random_clause(&mut rng, rels)).collect();
+    let bias = parse_bias(&db, t, BIAS_TEXT).unwrap();
+    World {
+        db,
+        bias,
+        examples,
+        clauses,
+        seed,
+    }
+}
+
+/// A random clause inside the depth-2 mode language (see
+/// `differential_coverage.rs` for the depth-tracking rationale).
+fn random_clause(rng: &mut StdRng, rels: Rels) -> Clause {
+    let mut depth: Vec<usize> = vec![0, 0];
+    let mut body = Vec::new();
+    for _ in 0..rng.random_range(0..=4usize) {
+        let eligible: Vec<u32> = (0..depth.len() as u32)
+            .filter(|&v| depth[v as usize] <= 1)
+            .collect();
+        let input = VarId(eligible[rng.random_range(0..eligible.len())]);
+        let out_depth = depth[input.0 as usize] + 1;
+        match rng.random_range(0..4u32) {
+            0 => {
+                let out = out_term(rng, &mut depth, out_depth);
+                body.push(Literal::new(rels.r, vec![Term::Var(input), out]));
+            }
+            1 => {
+                let out = out_term(rng, &mut depth, out_depth);
+                body.push(Literal::new(rels.s, vec![Term::Var(input), out]));
+            }
+            2 => {
+                let out = out_term(rng, &mut depth, out_depth);
+                body.push(Literal::new(rels.s, vec![out, Term::Var(input)]));
+            }
+            _ => body.push(Literal::new(rels.u, vec![Term::Var(input)])),
+        }
+    }
+    Clause::new(
+        Literal::new(rels.t, vec![Term::Var(VarId(0)), Term::Var(VarId(1))]),
+        body,
+    )
+}
+
+fn out_term(rng: &mut StdRng, depth: &mut Vec<usize>, out_depth: usize) -> Term {
+    if depth.len() > 2 && rng.random_range(0..2u32) == 0 {
+        Term::Var(VarId(rng.random_range(0..depth.len() as u32)))
+    } else {
+        let v = VarId(depth.len() as u32);
+        depth.push(out_depth);
+        Term::Var(v)
+    }
+}
+
+fn full_bc(world: &World, example: &Example, rng: &mut StdRng) -> GroundClause {
+    build_bottom_clause(
+        &world.db,
+        &world.bias,
+        example,
+        &BcConfig {
+            depth: 2,
+            strategy: SamplingStrategy::Full,
+            max_tuples: 1_000_000,
+            max_body_literals: 1_000_000,
+        },
+        rng,
+    )
+    .ground
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The three-way differential property: for every (clause, example)
+    /// pair, the bitset CSP, the legacy backtracker (both unbounded), and
+    /// exact SPJ evaluation return the same answer.
+    #[test]
+    fn engines_agree_with_each_other_and_spj(
+        seed in 0u64..u64::MAX / 2,
+        n_consts in 4usize..9,
+        n_r in 0usize..14,
+        n_s in 0usize..14,
+    ) {
+        let world = build_world(seed, n_consts, n_r, n_s);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5b5e_17);
+        let qcfg = QueryConfig::default();
+        let scfg = SubsumeConfig::unbounded();
+        for example in &world.examples {
+            let bc = full_bc(&world, example, &mut rng);
+            for clause in &world.clauses {
+                let bitset = theta_subsumes_with(SubsumeEngine::Bitset, clause, &bc, &scfg);
+                let legacy = theta_subsumes_with(SubsumeEngine::Legacy, clause, &bc, &scfg);
+                let spj = clause_covers(&world.db, clause, example, &qcfg);
+                prop_assert_eq!(
+                    bitset,
+                    legacy,
+                    "seed {}: engines disagree on {} for {}",
+                    world.seed,
+                    example.render(&world.db),
+                    clause.render(&world.db)
+                );
+                prop_assert_eq!(
+                    bitset,
+                    spj,
+                    "seed {}: subsumption vs SPJ on {} for {}",
+                    world.seed,
+                    example.render(&world.db),
+                    clause.render(&world.db)
+                );
+            }
+        }
+    }
+
+    /// Budgeted searches stay one-sided in both engines: any "covered" from
+    /// a tightly budgeted run is confirmed by the unbounded legacy search,
+    /// and a clause the unbounded search accepts is never reported covered
+    /// differently by the two budgeted engines' *positive* answers.
+    #[test]
+    fn budgets_are_one_sided_in_both_engines(
+        seed in 0u64..u64::MAX / 2,
+        n_consts in 4usize..9,
+        n_r in 0usize..14,
+        n_s in 0usize..14,
+        node_limit in 1usize..40,
+    ) {
+        let world = build_world(seed, n_consts, n_r, n_s);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0b1d);
+        let tight = SubsumeConfig { node_limit, max_restarts: 1 };
+        let full = SubsumeConfig::unbounded();
+        for example in &world.examples {
+            let bc = full_bc(&world, example, &mut rng);
+            for clause in &world.clauses {
+                let truth = theta_subsumes_with(SubsumeEngine::Legacy, clause, &bc, &full);
+                for engine in [SubsumeEngine::Bitset, SubsumeEngine::Legacy] {
+                    if theta_subsumes_with(engine, clause, &bc, &tight) {
+                        prop_assert!(
+                            truth,
+                            "seed {}: {:?} returned a false \"covered\" under budget {}",
+                            world.seed,
+                            engine,
+                            node_limit
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Directed decomposition test: a body that splits into three independent
+/// components once the head binds — two satisfiable, one not — must be
+/// rejected by both engines, and becomes accepted in both when the failing
+/// component is dropped. Guards the per-component conjunction: solving
+/// components independently must still require *every* component.
+#[test]
+fn decomposition_preserves_the_conjunction_in_both_engines() {
+    let mut db = Database::new();
+    let r = db.add_relation("r", &["a", "b"]);
+    let s = db.add_relation("s", &["a", "b"]);
+    let u = db.add_relation("u", &["a"]);
+    let t = db.add_relation("t", &["a", "b"]);
+    db.insert(r, &["x", "m"]); // component 1: r(V0, F1) — satisfiable
+    db.insert(s, &["y", "k"]); // component 2: s(V1, F2) — satisfiable
+    db.insert(u, &["z"]); // component 3: u(V0) — x is NOT in u
+    db.build_indexes();
+    let x = db.lookup("x").unwrap();
+    let y = db.lookup("y").unwrap();
+
+    let ground = GroundClause::new(
+        Example::new(t, vec![x, y]),
+        vec![
+            GroundLiteral {
+                rel: r,
+                vals: vec![x, db.lookup("m").unwrap()].into(),
+            },
+            GroundLiteral {
+                rel: s,
+                vals: vec![y, db.lookup("k").unwrap()].into(),
+            },
+            GroundLiteral {
+                rel: u,
+                vals: vec![db.lookup("z").unwrap()].into(),
+            },
+        ],
+    );
+
+    let v = |n| Term::Var(VarId(n));
+    // Three components over unbound vars: {F2}, {F3}, and the var-free u(V0).
+    let failing = Clause::new(
+        Literal::new(t, vec![v(0), v(1)]),
+        vec![
+            Literal::new(r, vec![v(0), v(2)]),
+            Literal::new(s, vec![v(1), v(3)]),
+            Literal::new(u, vec![v(0)]), // u(x) does not hold
+        ],
+    );
+    let passing = Clause::new(
+        Literal::new(t, vec![v(0), v(1)]),
+        vec![
+            Literal::new(r, vec![v(0), v(2)]),
+            Literal::new(s, vec![v(1), v(3)]),
+        ],
+    );
+    let cfg = SubsumeConfig::unbounded();
+    for engine in [SubsumeEngine::Bitset, SubsumeEngine::Legacy] {
+        assert!(
+            !theta_subsumes_with(engine, &failing, &ground, &cfg),
+            "{engine:?} accepted a clause whose third component fails"
+        );
+        assert!(
+            theta_subsumes_with(engine, &passing, &ground, &cfg),
+            "{engine:?} rejected a clause with two satisfiable components"
+        );
+    }
+}
+
+/// Integration-level seed stability: the answer for a (clause, ground BC)
+/// pair does not depend on how many other subsumption tests ran before it.
+/// Runs the whole differential workload twice — once fresh, once after a
+/// burn-in pass over shuffled pairs — and demands identical answer vectors.
+#[test]
+fn answers_do_not_depend_on_test_history() {
+    let world = build_world(0xfeed_5eed, 7, 12, 12);
+    let mut rng = StdRng::seed_from_u64(1);
+    let bcs: Vec<GroundClause> = world
+        .examples
+        .iter()
+        .map(|e| full_bc(&world, e, &mut rng))
+        .collect();
+    let cfg = SubsumeConfig {
+        node_limit: 50,
+        max_restarts: 2,
+    };
+    let run = |engine: SubsumeEngine| -> Vec<bool> {
+        let mut out = Vec::new();
+        for bc in &bcs {
+            for clause in &world.clauses {
+                out.push(theta_subsumes_with(engine, clause, bc, &cfg));
+            }
+        }
+        out
+    };
+    for engine in [SubsumeEngine::Bitset, SubsumeEngine::Legacy] {
+        let fresh = run(engine);
+        // Burn-in: interleave unrelated tests, then re-ask in reverse order.
+        for clause in world.clauses.iter().rev() {
+            for bc in bcs.iter().rev() {
+                theta_subsumes_with(engine, clause, bc, &cfg);
+            }
+        }
+        let again = run(engine);
+        assert_eq!(
+            fresh, again,
+            "{engine:?} gave history-dependent answers under a budget"
+        );
+    }
+}

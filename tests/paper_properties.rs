@@ -100,8 +100,7 @@ fn bottom_clause_covers_own_example() {
     assert!(theta_subsumes(
         &bc.clause,
         &bc.ground,
-        &SubsumeConfig::default(),
-        &mut rng
+        &SubsumeConfig::default()
     ));
 }
 
