@@ -252,6 +252,25 @@ pub fn check_bias(
         }
     }
 
+    // AB013: a predicate definition types a relation no mode ever
+    // references. Its types still shape the join graph, but no literal on
+    // the relation can ever enter a clause — usually a leftover after the
+    // modes were edited, or a typo'd relation name in the mode list.
+    let moded: FxHashSet<RelId> = bias.modes.iter().map(|m| m.rel).collect();
+    let mut dead_seen: FxHashSet<RelId> = FxHashSet::default();
+    for (i, p) in bias.preds.iter().enumerate() {
+        if p.rel == bias.target || moded.contains(&p.rel) || !dead_seen.insert(p.rel) {
+            continue;
+        }
+        report.push(
+            Rule::DeadRelation,
+            Anchor::Pred(i),
+            format!("pred {}", rel_name(db, p.rel)),
+            "relation is typed by a predicate definition but referenced by no mode; it can never contribute a literal"
+                .to_string(),
+        );
+    }
+
     let report = report.finish();
     if sp.is_active() {
         sp.note("findings", report.findings.len() as u64);

@@ -3,7 +3,9 @@
 //! lints so the rule catalog can grow without breaking consumers.
 //!
 //! Rule ids are stable API: `AB0xx` rules check the language bias, `AB1xx`
-//! rules check Horn theories. A rule's severity is fixed (not configurable):
+//! rules check Horn theories, and `AB2xx` rules check compiled evaluation
+//! plans against their source clauses (fired by `plan::verify`, reported
+//! through the same machinery). A rule's severity is fixed (not configurable):
 //! **Error** is reserved for properties the learner itself guarantees, so a
 //! clean learning run always produces zero Error findings and an Error on a
 //! loaded artifact means it was hand-edited, corrupted, or produced by a
@@ -98,6 +100,8 @@ rules! {
         "attributes on an IND cycle are not typed as equivalent in the bias"),
     ConstantThresholdViolation => ("AB012", "constant-threshold-violation", Warn,
         "a `#` position's attribute exceeds the constant threshold"),
+    DeadRelation => ("AB013", "dead-relation", Warn,
+        "a typed relation is referenced by no mode (dead weight in the bias)"),
     ModelParseError => ("AB101", "model-parse-error", Error,
         "the model text failed to parse"),
     DisconnectedLiteral => ("AB102", "disconnected-literal", Error,
@@ -118,6 +122,26 @@ rules! {
         "two clauses of the definition are equal up to variable renaming"),
     UnsatisfiableLiteral => ("AB110", "unsatisfiable-literal", Warn,
         "a body literal can never be satisfied against the database"),
+    PlanUnboundProbeKey => ("AB201", "plan-unbound-probe-key", Error,
+        "a compiled step probes an index keyed on a slot no earlier op binds"),
+    PlanUnboundSlotRead => ("AB202", "plan-unbound-slot-read", Error,
+        "a residual check reads a slot no earlier op binds"),
+    PlanReboundSlot => ("AB203", "plan-rebound-slot", Error,
+        "a bind writes a slot that is already bound (aliases two variables)"),
+    PlanDroppedConstraint => ("AB204", "plan-dropped-constraint", Error,
+        "a source argument constraint is enforced by no op (dropped join predicate)"),
+    PlanDuplicateConstraint => ("AB205", "plan-duplicate-constraint", Error,
+        "an argument position is enforced by more than one op"),
+    PlanBodyMismatch => ("AB206", "plan-body-mismatch", Error,
+        "a variant's steps are not a permutation of the clause body"),
+    PlanBarrierMismatch => ("AB207", "plan-barrier-mismatch", Error,
+        "step barriers do not partition the body's connected components exactly"),
+    PlanVariantDivergence => ("AB208", "plan-variant-divergence", Error,
+        "compiled variants disagree on the body they evaluate"),
+    PlanHeadMismatch => ("AB209", "plan-head-mismatch", Error,
+        "head ops do not reproduce the head literal's binding pattern"),
+    PlanIndexOverflow => ("AB210", "plan-index-overflow", Error,
+        "an op addresses a slot or position outside the executor's fixed buffers"),
 }
 
 /// What a finding points at, used by the source-level entry points to
@@ -185,8 +209,10 @@ pub struct Report {
 }
 
 impl Report {
-    /// Adds one finding.
-    pub(crate) fn push(&mut self, rule: Rule, anchor: Anchor, location: String, message: String) {
+    /// Adds one finding. Public so out-of-crate passes that reuse this
+    /// reporting machinery (notably `plan::verify`'s AB2xx rules) can file
+    /// findings through the same counter-bumping path.
+    pub fn push(&mut self, rule: Rule, anchor: Anchor, location: String, message: String) {
         self.findings.push(Diagnostic {
             rule,
             message,
@@ -198,10 +224,19 @@ impl Report {
     }
 
     /// Sorts findings most-severe-first, preserving order within a severity.
-    pub(crate) fn finish(mut self) -> Self {
+    pub fn finish(mut self) -> Self {
         self.findings
             .sort_by_key(|d| std::cmp::Reverse(d.severity()));
         self
+    }
+
+    /// Absorbs every finding of `other`, restoring most-severe-first order.
+    /// Used where two passes contribute to one verdict (e.g. source lints
+    /// plus plan verification in `autobias check --model`).
+    pub fn merge(&mut self, other: Report) {
+        self.findings.extend(other.findings);
+        self.findings
+            .sort_by_key(|d| std::cmp::Reverse(d.severity()));
     }
 
     /// Findings with `severity`.

@@ -23,7 +23,7 @@
 //! property for everything it outputs (see DESIGN.md §11), so "learned on
 //! this build" implies "verifies clean". Set `AUTOBIAS_VERIFY=0` to disable
 //! the verifier at every boundary ([`enabled`]).
-
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 

@@ -25,6 +25,7 @@ fn fixture(name: &str) -> String {
 /// `(fixture file, rule that must fire, whether the report carries Errors)`.
 const BIAS_GOLDEN: &[(&str, Rule, bool)] = &[
     ("bad_mode_no_plus.bias", Rule::ModeWithoutPlus, true),
+    ("dead_relation.bias", Rule::DeadRelation, false),
     ("dup_mode.bias", Rule::DuplicateMode, false),
     ("parse_error.bias", Rule::BiasParseError, true),
     ("unreachable_rel.bias", Rule::UnreachableRelation, false),

@@ -12,7 +12,7 @@
 //!   against a committed baseline (`bench/baselines/`).
 //!
 //! Criterion microbenches live in `benches/`.
-
+#![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 

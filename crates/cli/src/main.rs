@@ -15,6 +15,7 @@
 //!
 //! `eval` and `predict` use exact direct evaluation (`I ∧ C ⊨ e`) — learned
 //! clauses are short, so no bias or sampling is needed at prediction time.
+#![forbid(unsafe_code)]
 
 use autobias::bias::auto::{induce_bias, AutoBiasConfig, ConstantThreshold};
 use autobias::bottom::{BcConfig, SamplingStrategy};
@@ -93,7 +94,7 @@ USAGE:
                    [--trace-out FILE] [--profile] [--report-out FILE]
   autobias eval    --data DIR --model FILE
   autobias predict --data DIR --model FILE --args \"v1,v2\"
-  autobias explain --data DIR --model FILE [--json]
+  autobias explain --data DIR --model FILE [--json] [--verify]
   autobias check   --data DIR (--bias FILE | --model FILE [--bias auto|manual|FILE])
                    [--format text|json]
   autobias serve   --data DIR --models DIR [--addr HOST:PORT] [--threads N]
@@ -103,16 +104,18 @@ USAGE:
                    [--out FILE]
 
 Every command accepts --log-level error|warn|info|debug (or set AUTOBIAS_LOG).
-check: static verification (lints AB0xx/AB1xx); exits non-zero on Error
-       findings. --bias alone lints a bias file against the data's type
-       graph; --model lints a learned theory (add --bias for mode checks).
+check: static verification (lints AB0xx/AB1xx, plan soundness AB2xx);
+       exits non-zero on Error findings. --bias alone lints a bias file
+       against the data's type graph; --model lints a learned theory and
+       verifies its compiled plans (add --bias for mode checks).
 learn: --trace-out writes a chrome-trace JSON (open in ui.perfetto.dev);
        --profile prints per-phase wall-clock and counter tables to stderr;
        --report-out writes a structured JSON run report (schema v2).
 explain: renders the compiled evaluation plan per clause — access paths,
        probe keys, residual checks, cost estimates, and declined clauses
        with reasons. --json emits the same versioned document served by
-       GET /models/{name}/plan.
+       GET /models/{name}/plan. --verify appends the plan soundness
+       verdict (AB2xx) — text line or JSON \"verify\" object.
 jobs watch: streams a running server's learning-job progress events (SSE).
 serve: --access-log appends one JSON line per request (trace id, route,
        status, latency, plan totals), rotated at a size cap.
@@ -431,7 +434,29 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
                 None => None,
             };
             let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-            let (report, _) = analyze::check_model_source(&ds.db, &text, bias.as_ref());
+            let (mut report, parsed) = analyze::check_model_source(&ds.db, &text, bias.as_ref());
+            // Compile the model exactly the way the server's registry would
+            // and run the plan soundness pass (AB2xx) offline, so CI catches
+            // a plan the serve path would refuse before deployment.
+            if let Some((definition, _)) = parsed {
+                if plan::enabled() && analyze::enabled() {
+                    let compiled = plan::compile_definition(
+                        &ds.db,
+                        &definition,
+                        &plan::CompileConfig::default(),
+                    );
+                    // The compile-boundary report covers every produced
+                    // plan, including any the verifier declined; the
+                    // offline re-run is the fallback when the boundary
+                    // pass was disabled at compile time.
+                    match compiled.verify_report() {
+                        Some(vr) => report.merge(vr.clone()),
+                        None => {
+                            report.merge(plan::verify_definition(&ds.db, &definition, &compiled));
+                        }
+                    }
+                }
+            }
             report
         }
         (None, Some(path)) => {
@@ -526,24 +551,44 @@ fn cmd_predict(args: &Args) -> Result<(), String> {
 /// `autobias explain`: EXPLAIN for a model file — how each clause would be
 /// evaluated at serving time. Compiles the definition exactly the way the
 /// server's registry does at model load; `AUTOBIAS_COMPILE=0` shows every
-/// clause falling back to the interpreter.
+/// clause falling back to the interpreter. `--verify` re-runs the plan
+/// soundness pass offline and appends its verdict (text) or a `verify`
+/// object (JSON) to the document.
 fn cmd_explain(args: &Args) -> Result<(), String> {
     let path = args.get_str("--model").ok_or("missing --model FILE")?;
     let mut ds = load(args)?;
     let def = load_model(args, &mut ds)?;
     let compiled = plan::enabled()
         .then(|| plan::compile_definition(&ds.db, &def, &plan::CompileConfig::default()));
+    let verify = args.has("--verify").then(|| match compiled.as_ref() {
+        Some(c) => plan::verify_definition(&ds.db, &def, c),
+        // Compilation off: no plans, nothing to prove.
+        None => analyze::Report::default(),
+    });
     if args.has("--json") {
         let name = Path::new(path).file_stem().and_then(|s| s.to_str());
-        println!(
-            "{}",
-            plan::explain_json(&ds.db, name, &def, compiled.as_ref(), None)
-        );
+        let mut doc = plan::explain::explain(&ds.db, name, &def, compiled.as_ref(), None);
+        if let (Some(report), obs::json::Json::Obj(fields)) = (&verify, &mut doc) {
+            let parsed = obs::json::Json::parse(&report.to_json())
+                .map_err(|e| format!("rendering verify report: {e}"))?;
+            fields.push(("verify".to_string(), parsed));
+        }
+        println!("{doc}");
     } else {
         print!(
             "{}",
             plan::explain_text(&ds.db, &def, compiled.as_ref(), None)
         );
+        if let Some(report) = &verify {
+            if report.is_clean() {
+                let plans = compiled
+                    .as_ref()
+                    .map_or(0, plan::CompiledDefinition::num_compiled);
+                println!("verify: clean ({plans} plan(s) proved equivalent to their clauses)");
+            } else {
+                print!("{}", report.render_text());
+            }
+        }
     }
     Ok(())
 }

@@ -17,7 +17,7 @@
 //! let graph = build_type_graph(&db, &inds);
 //! assert!(graph.num_types >= 3); // student, professor, title domains, ...
 //! ```
-
+#![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 

@@ -49,7 +49,7 @@
 //! let (definition, _) = learner.learn(&db, &bias, &TrainingSet::new(pos, neg));
 //! assert!(!definition.is_empty());
 //! ```
-
+#![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 

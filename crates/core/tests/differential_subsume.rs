@@ -172,7 +172,7 @@ proptest! {
         n_s in 0usize..14,
     ) {
         let world = build_world(seed, n_consts, n_r, n_s);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5b5e_17);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x005b_5e17);
         let qcfg = QueryConfig::default();
         let scfg = SubsumeConfig::unbounded();
         for example in &world.examples {

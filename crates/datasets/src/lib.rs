@@ -19,7 +19,7 @@
 //! use. Positive examples are also inserted into the database as the target
 //! relation, so automatic bias induction can type the head attributes from
 //! INDs.
-
+#![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 

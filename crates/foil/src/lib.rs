@@ -11,7 +11,7 @@
 //! Coverage testing reuses the `autobias` machinery: ground bottom clauses
 //! are built once per example and candidate clauses are checked by
 //! θ-subsumption.
-
+#![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 

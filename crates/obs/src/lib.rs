@@ -74,7 +74,7 @@
 //! [`span::MAX_EVENTS`] (drops beyond the cap are counted, never silent).
 //! The `obs_overhead` bench in `crates/bench` compares a full learning run
 //! under all three modes.
-
+#![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 

@@ -78,6 +78,11 @@ pub enum Declined {
         /// Arity declared by the catalog.
         want: usize,
     },
+    /// The compiled plan failed soundness verification ([`crate::verify`],
+    /// AB2xx findings — the summary is carried here). The clause is served
+    /// by the interpreter instead, so a compiler bug degrades to slower,
+    /// never to wrong; [`crate::PLAN_VERIFY_REJECTS`] counts it.
+    FailedVerification(String),
 }
 
 impl std::fmt::Display for Declined {
@@ -91,6 +96,9 @@ impl std::fmt::Display for Declined {
                     "literal on rel#{} has arity {got}, catalog says {want}",
                     rel.0
                 )
+            }
+            Declined::FailedVerification(summary) => {
+                write!(f, "plan failed soundness verification: {summary}")
             }
         }
     }
@@ -266,6 +274,9 @@ impl CompiledClause {
 pub struct CompiledDefinition {
     plans: Vec<CompiledClause>,
     declined: Vec<(usize, Declined)>,
+    /// Findings from the soundness pass run at compile time; `None` when
+    /// the verifier was disabled (`AUTOBIAS_VERIFY=0`).
+    verify: Option<analyze::Report>,
 }
 
 impl CompiledDefinition {
@@ -293,6 +304,15 @@ impl CompiledDefinition {
     /// skipped).
     pub fn plans(&self) -> &[CompiledClause] {
         &self.plans
+    }
+
+    /// The soundness-verification report accumulated while compiling
+    /// ([`crate::verify`]): findings for every clause that produced a plan,
+    /// including plans subsequently declined as
+    /// [`Declined::FailedVerification`]. `None` means the verifier was
+    /// disabled (`AUTOBIAS_VERIFY=0`) and no plan was checked.
+    pub fn verify_report(&self) -> Option<&analyze::Report> {
+        self.verify.as_ref()
     }
 
     /// Whether any *compiled* clause covers `args` (Horn-definition
@@ -337,19 +357,28 @@ impl CompiledDefinition {
 /// Compiles every clause of `definition`, bumping [`crate::PLAN_COMPILED`] /
 /// [`crate::PLAN_FALLBACK`] per clause. Never fails: clauses outside the
 /// plan shape are recorded as declined.
+///
+/// This is the compile boundary every load path funnels through (serve
+/// registry scans, model uploads, learn-job completions, CLI explain), so
+/// soundness verification happens here: unless `AUTOBIAS_VERIFY=0`, each
+/// plan runs through [`crate::verify::verify_clause`] and a plan with Error
+/// findings is declined as [`Declined::FailedVerification`] — counted on
+/// [`crate::PLAN_VERIFY_REJECTS`] and served by the interpreter, never
+/// executed. The accumulated findings are kept on the result
+/// ([`CompiledDefinition::verify_report`]).
 pub fn compile_definition(
     db: &Database,
     definition: &Definition,
     cfg: &CompileConfig,
 ) -> CompiledDefinition {
     crate::register();
-    let mut out = CompiledDefinition::default();
+    let mut out = CompiledDefinition {
+        verify: analyze::enabled().then(analyze::Report::default),
+        ..CompiledDefinition::default()
+    };
     for (i, clause) in definition.clauses.iter().enumerate() {
         match compile_clause(db, clause, cfg) {
-            Ok(plan) => {
-                crate::PLAN_COMPILED.bump();
-                out.plans.push(plan);
-            }
+            Ok(plan) => out.admit(db, i, clause, plan),
             Err(why) => {
                 crate::PLAN_FALLBACK.bump();
                 out.declined.push((i, why));
@@ -357,6 +386,32 @@ pub fn compile_definition(
         }
     }
     out
+}
+
+impl CompiledDefinition {
+    /// Admission point for one freshly compiled plan: when the verifier is
+    /// on (`self.verify` is `Some`), runs [`crate::verify::verify_clause`],
+    /// records the findings, and declines plans with Error findings to the
+    /// interpreter. Separate from [`compile_definition`]'s loop so tests
+    /// can drive it with hand-mutated plans — through the public API the
+    /// compiler's own output never takes the reject branch.
+    pub(crate) fn admit(&mut self, db: &Database, i: usize, clause: &Clause, plan: CompiledClause) {
+        if let Some(acc) = self.verify.as_mut() {
+            let found = crate::verify::verify_clause(db, clause, &plan, i);
+            let rejected = found.has_errors();
+            let summary = found.summary();
+            acc.merge(found);
+            if rejected {
+                crate::PLAN_VERIFY_REJECTS.bump();
+                crate::PLAN_FALLBACK.bump();
+                self.declined
+                    .push((i, Declined::FailedVerification(summary)));
+                return;
+            }
+        }
+        crate::PLAN_COMPILED.bump();
+        self.plans.push(plan);
+    }
 }
 
 /// Compiles one clause, or says why it declined. `db` supplies the catalog
@@ -572,4 +627,64 @@ fn estimate(
         }
     }
     best.unwrap_or((rel.len().max(1), Access::Scan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: u32) -> Term {
+        Term::Var(VarId(n))
+    }
+
+    /// The reject branch of [`CompiledDefinition::admit`]: an unsound plan
+    /// is declined as [`Declined::FailedVerification`], never served
+    /// compiled, and counted on [`crate::PLAN_VERIFY_REJECTS`] — driven
+    /// directly because the compiler's own output never fails verification.
+    #[test]
+    fn admit_declines_unsound_plans_to_the_interpreter() {
+        let mut db = relstore::fixtures::uw_fragment();
+        let target = db.add_relation("advisedBy", &["stud", "prof"]);
+        db.build_indexes();
+        let publ = db.rel_id("publication").unwrap();
+        let clause = Clause::new(
+            Literal::new(target, vec![v(0), v(1)]),
+            vec![
+                Literal::new(publ, vec![v(2), v(0)]),
+                Literal::new(publ, vec![v(2), v(1)]),
+            ],
+        );
+        let mut plan = compile_clause(&db, &clause, &CompileConfig::default()).unwrap();
+        // Spurious mid-component barrier: the unsound mutation class.
+        let si = plan.variants[0]
+            .steps
+            .iter()
+            .position(|s| !s.barrier)
+            .unwrap();
+        plan.variants[0].steps[si].barrier = true;
+
+        let mut out = CompiledDefinition {
+            verify: Some(analyze::Report::default()),
+            ..CompiledDefinition::default()
+        };
+        let rejects_before = crate::PLAN_VERIFY_REJECTS.get();
+        out.admit(&db, 0, &clause, plan);
+        assert_eq!(out.num_compiled(), 0);
+        assert_eq!(out.num_declined(), 1);
+        assert!(matches!(
+            out.declined()[0],
+            (0, Declined::FailedVerification(_))
+        ));
+        assert!(out.declined()[0].1.to_string().contains("AB207"));
+        assert_eq!(crate::PLAN_VERIFY_REJECTS.get(), rejects_before + 1);
+        let report = out.verify_report().unwrap();
+        assert!(report.has_errors());
+
+        // A sound plan through the same gate is admitted and leaves the
+        // reject counter alone.
+        let plan = compile_clause(&db, &clause, &CompileConfig::default()).unwrap();
+        out.admit(&db, 1, &clause, plan);
+        assert_eq!(out.num_compiled(), 1);
+        assert_eq!(crate::PLAN_VERIFY_REJECTS.get(), rejects_before + 1);
+    }
 }

@@ -24,17 +24,23 @@
 //! counted on [`PLAN_FALLBACK`] and served by the interpreter, so the
 //! compiled path is an optimization, never a semantics change. The
 //! differential suite in `tests/compiled_vs_interpreted.rs` holds the two
-//! engines equal on randomized worlds.
+//! engines equal on randomized worlds, and [`verify`] statically proves
+//! each emitted plan equivalent to its source clause at every compile
+//! boundary — a plan that fails the proof is declined to the interpreter
+//! and counted on [`PLAN_VERIFY_REJECTS`], so even a compiler bug can make
+//! serving slower but never wrong.
 //!
 //! Setting `AUTOBIAS_COMPILE=0` disables compilation globally ([`enabled`]),
 //! which is how the serve-level byte-identity tests drive both engines
 //! through the same HTTP surface.
+#![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 
 pub mod compile;
 pub mod exec;
 pub mod explain;
 pub mod stats;
+pub mod verify;
 
 pub use compile::{
     compile_clause, compile_definition, CompileConfig, CompiledClause, CompiledDefinition, Declined,
@@ -45,6 +51,7 @@ pub use stats::{
     q_error, step_q_errors, BatchTally, ClauseTally, PlanStats, StepTally, TallyTotals,
     VariantTally,
 };
+pub use verify::{verify_clause, verify_definition};
 
 use obs::metrics::Counter;
 use std::sync::Once;
@@ -61,6 +68,15 @@ pub static PLAN_FALLBACK: Counter = Counter::new(
     "Clauses the plan compiler declined, served by the interpreter instead.",
 );
 
+/// Plans rejected by the soundness verifier ([`verify`]) at a compile
+/// boundary; also counted on [`PLAN_FALLBACK`] since the interpreter takes
+/// over. Nonzero means a compiler bug was caught before it could serve a
+/// wrong answer.
+pub static PLAN_VERIFY_REJECTS: Counter = Counter::new(
+    "autobias_plan_verify_rejects_total",
+    "Compiled plans rejected by the soundness verifier, served by the interpreter instead.",
+);
+
 /// Registers the plan counters with the [`obs::metrics`] registry so a
 /// `/metrics` scrape sees them even before the first model loads. Cheap and
 /// idempotent.
@@ -69,6 +85,7 @@ pub fn register() {
     ONCE.call_once(|| {
         obs::metrics::register(&PLAN_COMPILED);
         obs::metrics::register(&PLAN_FALLBACK);
+        obs::metrics::register(&PLAN_VERIFY_REJECTS);
     });
 }
 

@@ -21,7 +21,7 @@
 //! assert_eq!(db.relation(publ).select_eq(1, juan).len(), 1);
 //! assert_eq!(db.distinct(AttrRef::new(publ, 0)).len(), 1);
 //! ```
-
+#![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 

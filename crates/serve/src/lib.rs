@@ -32,7 +32,7 @@
 //!   threshold keep their full span tree in a bounded store behind
 //!   `GET /debug/traces` ([`trace`]), and an optional JSONL access log
 //!   ([`access_log`]) carries one correlated line per request.
-
+#![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 

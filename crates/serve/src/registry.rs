@@ -164,16 +164,32 @@ impl ModelRegistry {
                             continue;
                         }
                     }
-                    next.insert(
+                    let entry = ModelEntry::new(
+                        db,
                         stem.to_string(),
-                        Arc::new(ModelEntry::new(
-                            db,
-                            stem.to_string(),
-                            definition,
-                            unknown_constants,
-                            Some(path.clone()),
-                        )),
+                        definition,
+                        unknown_constants,
+                        Some(path.clone()),
                     );
+                    // AB2xx gate: plan verification already declined any
+                    // unsound plan to the interpreter, so serving `entry`
+                    // would still be correct — but a verifier error means a
+                    // compiler bug or tampered artifact, and the admission
+                    // bar for those is the same as for AB1xx lint errors.
+                    if let Some(report_) = entry
+                        .plan
+                        .as_ref()
+                        .and_then(plan::CompiledDefinition::verify_report)
+                    {
+                        if report_.has_errors() {
+                            crate::metrics::MODEL_REJECTIONS.bump();
+                            report
+                                .errors
+                                .push((fname, format!("plan verification: {}", report_.summary())));
+                            continue;
+                        }
+                    }
+                    next.insert(stem.to_string(), Arc::new(entry));
                 }
                 Err(e) => report.errors.push((fname, e.to_string())),
             }

@@ -556,11 +556,12 @@ fn route(state: &Arc<AppState>, req: &Request, trace_id: Option<&str>) -> Routed
 }
 
 /// `POST /models/{name}`: admission-checked model upload. The body is model
-/// text; it must parse and pass the static verifier with zero Error
-/// findings, otherwise the upload is rejected with 422 and the JSON
-/// diagnostics payload (and `autobias_model_rejections_total` bumps).
-/// Accepted models are persisted to the models directory and inserted into
-/// the registry copy-on-write, so in-flight predictions are unaffected.
+/// text; it must parse, pass the static verifier with zero Error findings,
+/// and its compiled plans must pass soundness verification (AB2xx) —
+/// otherwise the upload is rejected with 422 and the JSON diagnostics
+/// payload (and `autobias_model_rejections_total` bumps). Accepted models
+/// are persisted to the models directory and inserted into the registry
+/// copy-on-write, so in-flight predictions are unaffected.
 fn handle_model_upload(state: &Arc<AppState>, name: &str, body: &str) -> Routed {
     if name.is_empty()
         || name.len() > 64
@@ -607,6 +608,32 @@ fn handle_model_upload(state: &Arc<AppState>, name: &str, body: &str) -> Routed 
         );
     }
     let path = state.registry.dir().join(format!("{name}.model"));
+    // Compile (and verify) before persisting anything: an AB2xx verifier
+    // error is rejected with the same 422 shape as the AB1xx lints above,
+    // and leaves no file behind for the next reload to trip over.
+    let clauses = definition.clauses.len();
+    let entry = ModelEntry::new(
+        &state.ds.db,
+        name.to_string(),
+        definition,
+        unknown_constants,
+        Some(path.clone()),
+    );
+    if let Some(verify) = entry
+        .plan
+        .as_ref()
+        .and_then(plan::CompiledDefinition::verify_report)
+    {
+        if verify.has_errors() {
+            crate::metrics::MODEL_REJECTIONS.bump();
+            return Routed::json(
+                Endpoint::Models,
+                422,
+                "Unprocessable Entity",
+                format!("{}\n", verify.to_json()),
+            );
+        }
+    }
     let text = if body.ends_with('\n') {
         body.to_string()
     } else {
@@ -620,14 +647,7 @@ fn handle_model_upload(state: &Arc<AppState>, name: &str, body: &str) -> Routed 
             format!("{{\"error\": \"persisting model: {e}\"}}\n"),
         );
     }
-    let clauses = definition.clauses.len();
-    state.registry.insert(ModelEntry::new(
-        &state.ds.db,
-        name.to_string(),
-        definition,
-        unknown_constants,
-        Some(path),
-    ));
+    state.registry.insert(entry);
     obs::info!("model {name} uploaded ({clauses} clause(s))");
     Routed::json(
         Endpoint::Models,

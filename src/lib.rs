@@ -9,6 +9,7 @@
 //! - [`autobias`] — language-bias induction, sampling, and the bottom-up learner
 //! - [`foil`] — top-down FOIL baseline (the paper's Aleph configuration)
 //! - [`datasets`] — synthetic dataset generators with expert bias
+#![forbid(unsafe_code)]
 
 pub use autobias;
 pub use constraints;
